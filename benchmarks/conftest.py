@@ -1,0 +1,34 @@
+"""Benchmark-harness helpers.
+
+Each ``test_eN_*.py`` regenerates one experiment from DESIGN.md's index:
+it sweeps the workload, prints the paper-shaped table, writes it under
+``benchmarks/results/`` (the files EXPERIMENTS.md cites), and times one
+representative unit through the ``benchmark`` fixture so the whole suite
+runs under ``pytest benchmarks/ --benchmark-only``.
+
+Heavy experiments use ``benchmark.pedantic(..., rounds=1, iterations=1)``:
+the sweep itself is the measurement; re-running it for timing statistics
+would multiply minutes of simulation for no extra information.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist an experiment's table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2024)

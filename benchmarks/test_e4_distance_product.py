@@ -1,0 +1,77 @@
+"""E4 — Propositions 2 + 3: the reduction chain's call counts.
+
+Paper claims: a distance product of matrices with entries in
+``{−M..M, ±∞}`` needs ``O(log M)`` FindEdges calls (binary search over the
+tripartite construction); APSP needs ``O(log n)`` squarings with entries
+bounded by ``nW`` throughout.
+
+What this regenerates: call counts and exactness across an ``M`` sweep and
+an ``n`` sweep, with the ``log``-shaped growth visible in the table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis import format_table
+from repro.core.reductions import distance_product_via_find_edges
+
+from benchmarks.conftest import write_result
+
+
+def random_operands(seed: int, n: int, max_abs: int):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-max_abs, max_abs + 1, size=(n, n)).astype(float)
+    b = rng.integers(-max_abs, max_abs + 1, size=(n, n)).astype(float)
+    a[rng.random((n, n)) < 0.15] = np.inf
+    b[rng.random((n, n)) < 0.15] = np.inf
+    return a, b
+
+
+def product_case(n: int, max_abs: int, seed: int):
+    a, b = random_operands(seed, n, max_abs)
+    report = distance_product_via_find_edges(a, b, repro.ReferenceFindEdges())
+    exact = np.array_equal(report.product, repro.distance_product(a, b))
+    return report, exact
+
+
+def test_e4_distance_product_calls(benchmark):
+    rows = []
+    for max_abs in [2, 8, 32, 128, 512]:
+        report, exact = product_case(8, max_abs, seed=1)
+        expected = int(np.ceil(np.log2(4 * max_abs + 1))) + 1
+        assert exact
+        rows.append([max_abs, report.find_edges_calls, expected, exact])
+    table = format_table(
+        ["M", "calls", "≈log2(4M+1)+1", "exact"],
+        rows,
+        title="E4a  distance product: FindEdges calls vs entry bound M (Prop. 2)",
+    )
+    write_result("e4a_distance_product_calls", table)
+    assert all(row[1] <= row[2] for row in rows)
+
+    # APSP squaring schedule (Prop. 3): ⌈log2 n⌉ products, entries ≤ nW.
+    rows = []
+    for n in [6, 12, 24, 48]:
+        graph = repro.random_digraph_no_negative_cycle(
+            n, density=0.5, max_weight=8, rng=2
+        )
+        report = repro.solve_apsp_reference_pipeline(graph)
+        assert np.array_equal(report.distances, repro.floyd_warshall(graph))
+        finite = report.distances[np.isfinite(report.distances)]
+        max_entry = float(np.abs(finite).max()) if finite.size else 0.0
+        rows.append(
+            [n, report.squarings, int(np.ceil(np.log2(n))), max_entry, n * 8]
+        )
+    table = format_table(
+        ["n", "squarings", "⌈log2 n⌉", "max |dist|", "nW bound"],
+        rows,
+        title="E4b  APSP squaring schedule and entry growth (Prop. 3)",
+    )
+    write_result("e4b_apsp_squarings", table)
+    assert all(row[1] == row[2] for row in rows)
+    assert all(row[3] <= row[4] for row in rows)
+
+    benchmark.pedantic(product_case, args=(8, 32, 4), rounds=1, iterations=1)

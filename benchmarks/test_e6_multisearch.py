@@ -1,0 +1,109 @@
+"""E6 — Theorem 3 + Lemma 5: multiple searches on typical inputs.
+
+Paper claims: with ``|X| < m/(36 log m)``, ``β > 8m/|X|`` and typical
+solutions, the truncated-evaluation multi-search outputs a full solution
+tuple with probability ≥ ``1 − 2/m²``; the atypical-subspace mass of any
+``H_m`` state is below ``|X|·exp(−2m/(9|X|))`` (Lemma 5) and the state
+deviation after ``k`` steps below ``2k·√(that)``.
+
+What this regenerates:
+  (a) exact joint-state simulations at small ``(m, |X|)`` measuring the
+      true atypical mass and truncation deviation against both bounds;
+  (b) success-rate sweeps over ``m`` with the typicality machinery on;
+  (c) the failure mode when solutions are *not* typical (oracle truncation
+      producing the predicted false negatives).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.quantum.multisearch import (
+    MultiSearch,
+    atypical_mass,
+    exact_joint_state_simulation,
+    lemma5_truncated_mass_bound,
+    theorem3_fidelity_bound,
+    uniform_atypical_mass,
+)
+
+from benchmarks.conftest import write_result
+
+
+def joint_case(num_items: int, m: int, beta: float, iterations: int, seed: int):
+    rng = np.random.default_rng(seed)
+    marked = [np.array([int(rng.integers(0, num_items))]) for _ in range(m)]
+    ideal, truncated, deviation = exact_joint_state_simulation(
+        num_items, marked, beta=beta, iterations=iterations
+    )
+    return ideal, deviation
+
+
+def test_e6_lemma5_and_theorem3(benchmark):
+    # (a) exact joint simulation vs. the bounds.
+    rows = []
+    for num_items, m, beta, iterations in [
+        (2, 8, 6, 2),
+        (2, 10, 7, 3),
+        (3, 8, 5, 2),
+        (4, 6, 4, 2),
+    ]:
+        ideal, deviation = joint_case(num_items, m, beta, iterations, seed=1)
+        mass = atypical_mass(ideal, beta)
+        lemma5 = lemma5_truncated_mass_bound(num_items, m)
+        thm3 = theorem3_fidelity_bound(num_items, m, iterations)
+        tight = uniform_atypical_mass(num_items, m, beta)
+        assert mass <= lemma5 + 1e-9
+        assert deviation <= thm3 + 1e-9
+        rows.append([num_items, m, beta, iterations, mass, tight, lemma5, deviation, thm3])
+    table = format_table(
+        ["|X|", "m", "β", "k", "atypical mass", "tight bound", "Lemma5", "‖Φ−Φ̃‖", "Thm3 bound"],
+        rows,
+        title="E6a  exact joint simulation vs Lemma 5 / Theorem 3 bounds",
+    )
+    write_result("e6a_lemma5_bounds", table)
+
+    # (b) success rate with typical solutions across m.
+    rows = []
+    for m in [4, 16, 64]:
+        failures = 0
+        trials = 25
+        for seed in range(trials):
+            rng = np.random.default_rng(seed)
+            marked = [np.array([int(rng.integers(0, 6))]) for _ in range(m)]
+            search = MultiSearch(6, marked, beta=10_000.0, rng=seed)
+            report = search.run()
+            failures += int(not report.found_mask().all())
+        bound = 2.0 / m**2
+        rows.append([m, trials, failures, failures / trials, bound])
+    table = format_table(
+        ["m", "trials", "failed runs", "failure rate", "2/m² bound"],
+        rows,
+        title="E6b  multi-search success with typical solutions (Theorem 3)",
+    )
+    write_result("e6b_multisearch_success", table)
+    assert all(row[2] <= 2 for row in rows)
+
+    # (c) atypical solutions: truncation causes exactly the predicted
+    # false negatives (≤ β/2 searches keep each overloaded item).
+    rows = []
+    for m, beta in [(12, 4.0), (20, 6.0)]:
+        marked = [np.array([0]) for _ in range(m)]
+        search = MultiSearch(4, marked, beta=beta, rng=3)
+        report = search.run()
+        keep = int(beta // 2)
+        found = int(report.found_mask().sum())
+        assert found <= keep
+        rows.append([m, beta, keep, found, search.typicality.truncated_entries])
+    table = format_table(
+        ["m", "β", "keep budget β/2", "found", "truncated entries"],
+        rows,
+        title="E6c  atypical solutions: the truncated oracle's false negatives",
+    )
+    write_result("e6c_truncation_failures", table)
+
+    benchmark.pedantic(joint_case, args=(3, 8, 5, 2, 2), rounds=1, iterations=1)

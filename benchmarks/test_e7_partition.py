@@ -1,0 +1,115 @@
+"""E7 — Lemma 2: the random covering ``Λx(u, v)`` is well-balanced and
+covers ``P(u, v)`` with probability ≥ ``1 − 2/n``.
+
+What this regenerates: empirical abort (balance-violation) rates and
+coverage statistics of the Step-2 sampling across many seeds and sizes,
+against the lemma's ``2/n`` budget; plus the A1 ablation — a deterministic
+contiguous partition of ``P(u, v)`` (no randomness, no duplication) whose
+per-vertex load blows past the well-balancedness cap, which is exactly why
+the paper randomizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.congest.partitions import CliquePartitions
+from repro.core.constants import PaperConstants
+
+from benchmarks.conftest import write_result
+
+
+def sample_statistics(n: int, constants: PaperConstants, trials: int, seed: int):
+    """Simulate Step 2's sampling for one block pair across trials."""
+    partitions = CliquePartitions(n)
+    pairs = partitions.block_pairs(0, min(1, partitions.num_coarse - 1))
+    rate = constants.lambda_rate(n)
+    balance = constants.balance_bound(n)
+    rng = np.random.default_rng(seed)
+    violations = 0
+    uncovered_pairs = 0
+    total_pairs = 0
+    for _ in range(trials):
+        covered = np.zeros(len(pairs), dtype=bool)
+        bad = False
+        for _x in range(partitions.num_fine):
+            mask = rng.random(len(pairs)) < rate
+            covered |= mask
+            chosen = pairs[mask]
+            touching = np.concatenate([chosen[:, 0], chosen[:, 1]])
+            if touching.size:
+                _, counts = np.unique(touching, return_counts=True)
+                if counts.max() > balance:
+                    bad = True
+        violations += int(bad)
+        uncovered_pairs += int((~covered).sum())
+        total_pairs += len(pairs)
+    return violations / trials, uncovered_pairs / total_pairs, rate, balance
+
+
+def deterministic_partition_max_load(n: int) -> tuple[float, float]:
+    """A1 ablation: contiguous chunks of P(u, v) concentrate one vertex's
+    pairs into few chunks — max per-vertex per-chunk load vs the cap."""
+    partitions = CliquePartitions(n)
+    pairs = partitions.block_pairs(0, min(1, partitions.num_coarse - 1))
+    chunks = np.array_split(np.arange(len(pairs)), partitions.num_fine)
+    constants = PaperConstants(scale=0.05)
+    cap = constants.balance_bound(n)
+    worst = 0
+    for chunk in chunks:
+        chosen = pairs[chunk]
+        touching = np.concatenate([chosen[:, 0], chosen[:, 1]])
+        if touching.size:
+            _, counts = np.unique(touching, return_counts=True)
+            worst = max(worst, int(counts.max()))
+    return worst, cap
+
+
+def test_e7_lemma2_balance_and_coverage(benchmark):
+    constants = PaperConstants(scale=0.05)
+    rows = []
+    for n in [64, 256, 1024]:
+        violation_rate, uncovered_rate, rate, balance = sample_statistics(
+            n, constants, trials=60, seed=5
+        )
+        rows.append(
+            [n, rate, balance, violation_rate, uncovered_rate, 2.0 / n]
+        )
+    table = format_table(
+        ["n", "λ rate", "balance cap", "P[unbalanced]", "per-pair miss", "2/n budget"],
+        rows,
+        title=(
+            "E7a  Lemma 2: well-balancedness and coverage of the random covering\n"
+            "(at the paper's scale=1 the rate saturates to 1 for n ≤ ~10⁴ and both\n"
+            "bad events are impossible; scale=0.05 shows the asymptotic behaviour:\n"
+            "per-pair miss probability (1−rate)^√n decays with n)"
+        ),
+    )
+    write_result("e7a_lemma2", table)
+    # Bad events must be rare and shrinking as n grows.
+    assert rows[-1][3] <= rows[0][3] + 0.05
+    assert all(row[4] <= 0.05 for row in rows)
+    assert rows[-1][4] <= rows[0][4]
+
+    # A1 ablation: deterministic chunking violates the cap once the block
+    # size n^{3/4} outgrows the n^{1/4}·log n balance budget.
+    rows = []
+    for n in [256, 1024, 4096]:
+        worst, cap = deterministic_partition_max_load(n)
+        rows.append([n, worst, cap, worst > cap])
+    table = format_table(
+        ["n", "max per-vertex chunk load", "balance cap", "violates"],
+        rows,
+        title=(
+            "E7b (ablation A1)  deterministic contiguous partition of P(u,v):\n"
+            "per-vertex loads concentrate and break the cap the random covering meets"
+        ),
+    )
+    write_result("e7b_partition_ablation", table)
+    assert any(row[3] for row in rows)
+
+    benchmark.pedantic(
+        sample_statistics, args=(256, constants, 10, 9), rounds=1, iterations=1
+    )

@@ -1,0 +1,20 @@
+"""Analysis utilities: the analytic round model, scaling fits, reporting."""
+
+from repro.analysis.complexity import (
+    RoundModel,
+    fit_exponent,
+)
+from repro.analysis.report import format_table
+from repro.analysis.sweeps import SweepPoint, sweep_compute_pairs
+from repro.analysis.validation import ApspValidation, validate_apsp, validate_sssp
+
+__all__ = [
+    "RoundModel",
+    "fit_exponent",
+    "format_table",
+    "ApspValidation",
+    "validate_apsp",
+    "validate_sssp",
+    "SweepPoint",
+    "sweep_compute_pairs",
+]

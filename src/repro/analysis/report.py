@@ -1,0 +1,39 @@
+"""Plain-text table formatting for benchmark output and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = ""
+) -> str:
+    """Render a fixed-width table.
+
+    Numbers are formatted compactly (6 significant digits); everything else
+    via ``str``.  Used by every benchmark to print the paper-shaped rows.
+    """
+    def cell(value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            if value != value:  # NaN
+                return "nan"
+            if abs(value) >= 1e6 or (0 < abs(value) < 1e-3):
+                return f"{value:.3e}"
+            return f"{value:.4g}"
+        return str(value)
+
+    text_rows = [[cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[index]) for row in text_rows)) if text_rows else len(header)
+        for index, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Programmatic experiment sweeps.
+
+The benchmark files under ``benchmarks/`` are the canonical experiment
+definitions; this module provides the reusable sweep drivers behind them so
+users can regenerate (or extend) the measurements from Python without going
+through pytest — e.g. to add sizes, change constants, or sweep their own
+workloads.
+
+Each driver returns a list of :class:`SweepPoint` carrying the measured
+quantities plus the instance's ground-truth error profile; ``fit`` runs the
+log–log exponent fit over any numeric field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.complexity import fit_exponent
+from repro.core.compute_pairs import compute_pairs
+from repro.core.constants import SIMULATION, PaperConstants
+from repro.core.problems import FindEdgesInstance
+from repro.graphs.generators import random_undirected_graph
+from repro.graphs.workloads import make_workload
+from repro.util.rng import RngLike, ensure_rng, spawn_rng
+
+
+@dataclass
+class SweepPoint:
+    """One measurement of a sweep."""
+
+    size: int
+    rounds: float
+    truth_size: int
+    false_positives: int
+    false_negatives: int
+    details: dict = field(default_factory=dict)
+
+    @property
+    def exact(self) -> bool:
+        return self.false_positives == 0 and self.false_negatives == 0
+
+
+def sweep_compute_pairs(
+    sizes: Sequence[int],
+    *,
+    constants: PaperConstants = SIMULATION,
+    workload: str | None = None,
+    density: float = 0.3,
+    max_weight: int = 6,
+    search_mode: str = "quantum",
+    rng: RngLike = None,
+) -> list[SweepPoint]:
+    """Run ComputePairs over an ``n`` sweep and collect round/error data.
+
+    ``workload`` selects a named family from
+    :mod:`repro.graphs.workloads`; ``None`` uses a plain random graph with
+    the given density.
+    """
+    generator = ensure_rng(rng)
+    points: list[SweepPoint] = []
+    for size in sizes:
+        child = spawn_rng(generator)
+        if workload is None:
+            graph = random_undirected_graph(
+                size, density=density, max_weight=max_weight, rng=child
+            )
+        else:
+            graph = make_workload(workload, size, rng=child)
+        instance = FindEdgesInstance(graph)
+        solution = compute_pairs(
+            instance,
+            constants=constants,
+            rng=spawn_rng(generator),
+            search_mode=search_mode,
+        )
+        truth = instance.reference_solution()
+        points.append(
+            SweepPoint(
+                size=size,
+                rounds=solution.rounds,
+                truth_size=len(truth),
+                false_positives=len(solution.pairs - truth),
+                false_negatives=len(truth - solution.pairs),
+                details=dict(solution.details),
+            )
+        )
+    return points
+
+
+def sweep_phase_rounds(
+    points: Sequence[SweepPoint], phase_key: str
+) -> list[float]:
+    """Extract a per-phase series recorded in the sweep details
+    (e.g. ``"eval_rounds_per_alpha"`` sums, ``"coverage"``)."""
+    values = []
+    for point in points:
+        value = point.details.get(phase_key)
+        if isinstance(value, dict):
+            value = float(sum(value.values()))
+        values.append(float(value))
+    return values
+
+
+def fit(
+    points: Sequence[SweepPoint],
+    value: Callable[[SweepPoint], float] = lambda p: p.rounds,
+) -> tuple[float, float, float]:
+    """Log–log power-law fit ``(exponent, coefficient, r²)`` over a sweep."""
+    sizes = [point.size for point in points]
+    values = [value(point) for point in points]
+    return fit_exponent(sizes, values)

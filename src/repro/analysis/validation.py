@@ -1,0 +1,113 @@
+"""Certificate-style validation of APSP / SSSP outputs.
+
+A distance matrix ``D`` is the true APSP closure of a graph iff
+
+1. the diagonal is zero (no negative cycles),
+2. **dominance**: ``D[i, j] ≤ D[i, k] + w(k, j)`` for every edge
+   ``(k, j)`` (no relaxation can improve anything), and
+3. **tightness**: every finite off-diagonal ``D[i, j]`` is achieved by
+   some in-edge: ``D[i, j] = D[i, k] + w(k, j)`` for some ``k``
+   (distances are realized by actual paths, not underestimates), and
+4. infinite entries really are unreachable (implied by 2–3 plus the zero
+   diagonal, checked explicitly anyway).
+
+The checks are ``O(n³)`` vectorized numpy and independent of the solvers
+(they never call the min-plus kernels), so they can certify any solver's
+output — tests use them to cross-examine the quantum pipeline without
+trusting Floyd–Warshall, and users can run them on their own outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.digraph import WeightedDigraph
+
+
+@dataclass(frozen=True)
+class ApspValidation:
+    """Outcome of the certificate checks."""
+
+    zero_diagonal: bool
+    dominant: bool
+    tight: bool
+    unreachable_consistent: bool
+
+    @property
+    def valid(self) -> bool:
+        return (
+            self.zero_diagonal
+            and self.dominant
+            and self.tight
+            and self.unreachable_consistent
+        )
+
+
+def validate_apsp(graph: WeightedDigraph, distances: np.ndarray) -> ApspValidation:
+    """Run all certificate checks on a claimed APSP matrix."""
+    d = np.asarray(distances, dtype=np.float64)
+    n = graph.num_vertices
+    if d.shape != (n, n):
+        raise ValueError(f"distance matrix shape {d.shape} does not match n={n}")
+    weights = graph.apsp_matrix()  # zero diagonal, w(i,j), +inf
+
+    zero_diagonal = bool((np.diag(d) == 0).all())
+
+    # Relaxation through a *real* in-edge only: the zero diagonal of the
+    # APSP matrix would otherwise let every entry "witness" itself
+    # (D[i,j] + w(j,j) = D[i,j]), hiding fabricated reachability.
+    strict = weights.copy()
+    np.fill_diagonal(strict, np.inf)
+    relaxed = np.full((n, n), np.inf)
+    for k in range(n):
+        candidate = d[:, k][:, None] + strict[k, :][None, :]
+        np.minimum(relaxed, candidate, out=relaxed)
+    dominant = bool((d <= relaxed + 1e-9).all())
+
+    # Tightness: every finite off-diagonal entry equals the relaxation min
+    # (so it is realized by a path ending in an actual edge).
+    off_diag = ~np.eye(n, dtype=bool)
+    finite = np.isfinite(d) & off_diag
+    tight = bool(np.allclose(d[finite], relaxed[finite])) if finite.any() else True
+
+    # Unreachability: +inf entries must stay +inf under relaxation.
+    infinite = ~np.isfinite(d) & off_diag
+    unreachable_consistent = (
+        bool(~np.isfinite(relaxed[infinite]).any()) if infinite.any() else True
+    )
+
+    return ApspValidation(
+        zero_diagonal=zero_diagonal,
+        dominant=dominant,
+        tight=tight,
+        unreachable_consistent=unreachable_consistent,
+    )
+
+
+def validate_sssp(
+    graph: WeightedDigraph, source: int, distances: np.ndarray
+) -> bool:
+    """Certificate check for a single-source distance vector."""
+    d = np.asarray(distances, dtype=np.float64)
+    n = graph.num_vertices
+    if d.shape != (n,):
+        raise ValueError("distance vector shape mismatch")
+    if d[source] != 0:
+        return False
+    weights = graph.apsp_matrix()
+    # Same self-witness caveat as validate_apsp: require a real in-edge.
+    np.fill_diagonal(weights, np.inf)
+    relaxed = (d[:, None] + weights).min(axis=0)
+    finite = np.isfinite(d)
+    others = finite.copy()
+    others[source] = False
+    if (d > relaxed + 1e-9).any():
+        return False
+    if others.any() and not np.allclose(d[others], relaxed[others]):
+        return False
+    infinite = ~finite
+    if infinite.any() and np.isfinite(relaxed[infinite]).any():
+        return False
+    return True

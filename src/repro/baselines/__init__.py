@@ -1,0 +1,32 @@
+"""Classical baselines the paper compares against (or builds on).
+
+* :mod:`repro.baselines.floyd_warshall` — centralized ground truth
+  (Floyd–Warshall and Bellman–Ford single-source checks).
+* :mod:`repro.baselines.dolev_triangles` — the deterministic
+  ``Õ(n^{1/3})``-round triangle listing of Dolev, Lenzen and Peled, used as
+  a FindEdges backend (combinatorial, so it finds *negative* triangles too,
+  as the paper's "Other related works" notes).
+* :mod:`repro.baselines.censor_hillel` — the ``Õ(n^{1/3})``-round
+  semiring (min-plus) distance-product APSP in the style of Censor-Hillel
+  et al., the best known classical solver the quantum algorithm beats.
+* :mod:`repro.baselines.classical_search` — the Grover-free linear-scan
+  variant of Step 3 (an ablation isolating where the quantum speedup
+  enters).
+"""
+
+from repro.baselines.bellman_ford_distributed import SSSPReport, bellman_ford_distributed
+from repro.baselines.censor_hillel import CensorHillelAPSP, distributed_minplus_product
+from repro.baselines.classical_search import GroverFreeFindEdges
+from repro.baselines.dolev_triangles import DolevFindEdges
+from repro.baselines.floyd_warshall import bellman_ford, floyd_warshall
+
+__all__ = [
+    "floyd_warshall",
+    "bellman_ford",
+    "bellman_ford_distributed",
+    "SSSPReport",
+    "DolevFindEdges",
+    "CensorHillelAPSP",
+    "distributed_minplus_product",
+    "GroverFreeFindEdges",
+]

@@ -1,0 +1,53 @@
+"""Centralized shortest-path references.
+
+:func:`floyd_warshall` is the oracle all distributed solvers are verified
+against; :func:`bellman_ford` provides independent single-source checks (so
+a bug in the min-plus code cannot hide in both oracles at once).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NegativeCycleError
+from repro.graphs.digraph import WeightedDigraph
+from repro.matrix.apsp import apsp_distances
+
+
+def floyd_warshall(graph: WeightedDigraph) -> np.ndarray:
+    """All-pairs distances by Floyd–Warshall (``O(n³)``, vectorized).
+
+    Raises :class:`NegativeCycleError` on negative cycles.
+    """
+    return apsp_distances(graph)
+
+
+def bellman_ford(graph: WeightedDigraph, source: int) -> np.ndarray:
+    """Single-source distances by Bellman–Ford.
+
+    ``O(n·m)``; raises :class:`NegativeCycleError` when a relaxation
+    succeeds after ``n − 1`` passes (a negative cycle reachable from
+    ``source``).
+    """
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range for n={n}")
+    weights = graph.weights
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    for _ in range(n - 1):
+        candidate = (dist[:, None] + weights).min(axis=0)
+        updated = np.minimum(dist, candidate)
+        if np.array_equal(
+            np.nan_to_num(updated, posinf=np.finfo(np.float64).max),
+            np.nan_to_num(dist, posinf=np.finfo(np.float64).max),
+        ):
+            dist = updated
+            break
+        dist = updated
+    candidate = (dist[:, None] + weights).min(axis=0)
+    if (candidate < dist).any():
+        raise NegativeCycleError(
+            f"negative cycle reachable from source {source}"
+        )
+    return dist

@@ -1,0 +1,252 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``apsp``        solve APSP on a graph file (or a generated instance),
+                report distances shape, rounds, per-phase breakdown, and
+                verify against Floyd–Warshall.
+``find-edges``  detect edges in negative triangles with a chosen backend.
+``diameter``    the §4.1 quantum diameter computation.
+``generate``    write a random instance to a graph file.
+``validate``    certificate-check a distance matrix against a graph.
+``model``       print the analytic round model's predictions for an n sweep.
+
+Graph files use the formats of :mod:`repro.graphs.io` (``.npz`` or edge-list
+text, selected by extension).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+import numpy as np
+
+import repro
+from repro.graphs import io as graph_io
+
+
+def _load_graph(path: str):
+    suffix = pathlib.Path(path).suffix
+    if suffix == ".npz":
+        return graph_io.load_npz(path)
+    return graph_io.load_edge_list(path)
+
+
+def _save_graph(graph, path: str) -> None:
+    suffix = pathlib.Path(path).suffix
+    if suffix == ".npz":
+        graph_io.save_npz(graph, path)
+    else:
+        graph_io.save_edge_list(graph, path)
+
+
+def _make_backend(name: str, scale: float, seed: int):
+    constants = repro.PaperConstants(scale=scale)
+    if name == "quantum":
+        return repro.QuantumFindEdges(constants=constants, rng=seed)
+    if name == "classical":
+        return repro.GroverFreeFindEdges(constants=constants, rng=seed)
+    if name == "dolev":
+        return repro.DolevFindEdges(rng=seed)
+    if name == "reference":
+        return repro.ReferenceFindEdges()
+    raise SystemExit(f"unknown backend {name!r}")
+
+
+def _cmd_apsp(args: argparse.Namespace) -> int:
+    if args.graph:
+        graph = _load_graph(args.graph)
+        if not isinstance(graph, repro.WeightedDigraph):
+            raise SystemExit("apsp expects a directed graph")
+    else:
+        graph = repro.random_digraph_no_negative_cycle(
+            args.n, density=args.density, max_weight=args.max_weight, rng=args.seed
+        )
+    backend = _make_backend(args.backend, args.scale, args.seed)
+    report = repro.QuantumAPSP(backend=backend).solve(graph)
+    truth = repro.floyd_warshall(graph)
+    exact = np.array_equal(report.distances, truth)
+    print(f"n={graph.num_vertices} backend={args.backend} rounds={report.rounds:,.0f}")
+    print(f"exact={exact} squarings={report.squarings} "
+          f"find_edges_calls={report.find_edges_calls}")
+    if args.verbose:
+        print(report.ledger.as_table())
+    if args.out:
+        np.savez_compressed(args.out, distances=report.distances)
+        print(f"distances written to {args.out}")
+    return 0 if exact else 1
+
+
+def _cmd_find_edges(args: argparse.Namespace) -> int:
+    if args.graph:
+        graph = _load_graph(args.graph)
+        if not isinstance(graph, repro.UndirectedWeightedGraph):
+            raise SystemExit("find-edges expects an undirected graph")
+    else:
+        graph = repro.random_undirected_graph(
+            args.n, density=args.density, max_weight=args.max_weight, rng=args.seed
+        )
+    instance = repro.FindEdgesInstance(graph)
+    backend = _make_backend(args.backend, args.scale, args.seed)
+    solution = backend.find_edges(instance)
+    truth = instance.reference_solution()
+    print(
+        f"n={graph.num_vertices} backend={args.backend} "
+        f"found={len(solution.pairs)}/{len(truth)} rounds={solution.rounds:,.0f}"
+    )
+    false_pos = solution.pairs - truth
+    print(f"false_positives={len(false_pos)} missed={len(truth - solution.pairs)}")
+    if args.verbose:
+        for pair in sorted(solution.pairs):
+            print(f"  {pair}")
+    return 0 if not false_pos else 1
+
+
+def _cmd_diameter(args: argparse.Namespace) -> int:
+    if args.graph:
+        graph = _load_graph(args.graph)
+    else:
+        graph = repro.random_digraph_no_negative_cycle(
+            args.n, density=args.density, max_weight=args.max_weight, rng=args.seed
+        )
+    report = repro.quantum_diameter(graph, rng=args.seed)
+    exact = float(repro.eccentricities(graph).max())
+    print(
+        f"diameter={report.diameter:g} exact={exact:g} "
+        f"searches={report.search_calls} rounds={report.rounds:,.0f}"
+    )
+    return 0 if report.diameter == exact else 1
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "digraph":
+        graph = repro.random_digraph_no_negative_cycle(
+            args.n, density=args.density, max_weight=args.max_weight, rng=args.seed
+        )
+    elif args.kind == "undirected":
+        graph = repro.random_undirected_graph(
+            args.n, density=args.density, max_weight=args.max_weight, rng=args.seed
+        )
+    else:  # planted
+        graph, planted = repro.planted_negative_triangle_graph(
+            args.n, num_planted=max(1, args.n // 5), rng=args.seed
+        )
+        print(f"planted pairs: {sorted(planted)}")
+    _save_graph(graph, args.out)
+    print(f"{graph!r} written to {args.out}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    if not isinstance(graph, repro.WeightedDigraph):
+        raise SystemExit("validate expects a directed graph")
+    with np.load(args.distances) as data:
+        distances = data["distances"]
+    validation = repro.validate_apsp(graph, distances)
+    print(
+        f"zero_diagonal={validation.zero_diagonal} dominant={validation.dominant} "
+        f"tight={validation.tight} unreachable_ok={validation.unreachable_consistent}"
+    )
+    print(f"valid={validation.valid}")
+    return 0 if validation.valid else 1
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    model = repro.RoundModel()
+    rows = []
+    for k in range(args.min_exp, args.max_exp + 1, args.step):
+        n = 2 ** k
+        rows.append(
+            [
+                f"2^{k}",
+                model.quantum_apsp_leading(n),
+                model.classical_apsp_leading(n),
+                model.quantum_apsp_rounds(n, args.max_weight),
+                model.classical_apsp_rounds(n, args.max_weight),
+            ]
+        )
+    print(
+        repro.format_table(
+            ["n", "quantum (leading)", "classical (leading)", "quantum (full)", "classical (full)"],
+            rows,
+            title="analytic round model",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Quantum distributed APSP in the CONGEST-CLIQUE model "
+        "(Izumi & Le Gall, PODC 2019) — reproduction CLI.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, needs_backend=True):
+        p.add_argument("--graph", help="graph file (.npz or edge list)")
+        p.add_argument("--n", type=int, default=10, help="generated-instance size")
+        p.add_argument("--density", type=float, default=0.5)
+        p.add_argument("--max-weight", type=int, default=8)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--verbose", action="store_true")
+        if needs_backend:
+            p.add_argument(
+                "--backend",
+                choices=["quantum", "classical", "dolev", "reference"],
+                default="quantum",
+            )
+            p.add_argument(
+                "--scale",
+                type=float,
+                default=0.5,
+                help="constants scale knob (1.0 = the paper's constants)",
+            )
+
+    p_apsp = sub.add_parser("apsp", help="solve all-pairs shortest paths")
+    add_common(p_apsp)
+    p_apsp.add_argument("--out", help="write distances to this .npz")
+    p_apsp.set_defaults(func=_cmd_apsp)
+
+    p_fe = sub.add_parser("find-edges", help="find edges in negative triangles")
+    add_common(p_fe)
+    p_fe.set_defaults(func=_cmd_find_edges)
+
+    p_diam = sub.add_parser("diameter", help="quantum diameter (§4.1 example)")
+    add_common(p_diam, needs_backend=False)
+    p_diam.set_defaults(func=_cmd_diameter)
+
+    p_gen = sub.add_parser("generate", help="write a random instance")
+    add_common(p_gen, needs_backend=False)
+    p_gen.add_argument(
+        "--kind", choices=["digraph", "undirected", "planted"], default="digraph"
+    )
+    p_gen.add_argument("--out", required=True)
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_val = sub.add_parser("validate", help="certificate-check a distance matrix")
+    p_val.add_argument("--graph", required=True)
+    p_val.add_argument("--distances", required=True, help=".npz with 'distances'")
+    p_val.set_defaults(func=_cmd_validate)
+
+    p_model = sub.add_parser("model", help="analytic round-model table")
+    p_model.add_argument("--min-exp", type=int, default=4)
+    p_model.add_argument("--max-exp", type=int, default=32)
+    p_model.add_argument("--step", type=int, default=4)
+    p_model.add_argument("--max-weight", type=int, default=8)
+    p_model.set_defaults(func=_cmd_model)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""CONGEST-CLIQUE simulation substrate.
+
+``n`` nodes over a fully connected network exchange messages of ``O(log n)``
+bits (one *word*) per link per synchronous round.  The simulator is
+message-accurate in what crosses node boundaries and round-accurate in cost:
+all communication goes through :class:`~repro.congest.router.Router`, which
+charges rounds by the routing lemma of Dolev, Lenzen and Peled (Lemma 1 of
+the paper).
+"""
+
+from repro.congest.accounting import RoundLedger
+from repro.congest.message import Message
+from repro.congest.network import CongestClique, Node
+from repro.congest.partitions import BlockPartition, CliquePartitions
+from repro.congest.trace import TraceEvent, Tracer
+
+__all__ = [
+    "Message",
+    "Node",
+    "CongestClique",
+    "RoundLedger",
+    "BlockPartition",
+    "CliquePartitions",
+    "Tracer",
+    "TraceEvent",
+]

@@ -1,0 +1,60 @@
+"""Round accounting.
+
+Every communication primitive charges rounds to a :class:`RoundLedger` under
+a named *phase* so that experiments can report where the rounds went
+(e.g. ``"compute_pairs.step1_load"`` vs ``"step3.grover"``).  Ledgers nest:
+sub-protocol ledgers are merged into their caller's under a prefix.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+
+class RoundLedger:
+    """An ordered mapping ``phase name → rounds charged``."""
+
+    def __init__(self) -> None:
+        self._phases: "OrderedDict[str, float]" = OrderedDict()
+
+    def charge(self, phase: str, rounds: float) -> None:
+        """Add ``rounds`` to ``phase`` (created on first use)."""
+        if rounds < 0:
+            raise ValueError(f"cannot charge negative rounds ({rounds})")
+        self._phases[phase] = self._phases.get(phase, 0.0) + float(rounds)
+
+    @property
+    def total(self) -> float:
+        """Total rounds across all phases."""
+        return float(sum(self._phases.values()))
+
+    def rounds(self, phase: str) -> float:
+        """Rounds charged to ``phase`` (0 if never charged)."""
+        return self._phases.get(phase, 0.0)
+
+    def phases(self) -> Iterator[tuple[str, float]]:
+        """Iterate ``(phase, rounds)`` in first-charge order."""
+        return iter(self._phases.items())
+
+    def merge(self, other: "RoundLedger", prefix: str = "") -> None:
+        """Fold ``other`` into this ledger, optionally prefixing phase names."""
+        for phase, rounds in other.phases():
+            name = f"{prefix}{phase}" if prefix else phase
+            self.charge(name, rounds)
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict copy (for reports and assertions)."""
+        return dict(self._phases)
+
+    def as_table(self) -> str:
+        """A human-readable per-phase breakdown."""
+        if not self._phases:
+            return "(no rounds charged)"
+        width = max(len(name) for name in self._phases)
+        lines = [f"{name:<{width}}  {rounds:>12.1f}" for name, rounds in self._phases.items()]
+        lines.append(f"{'TOTAL':<{width}}  {self.total:>12.1f}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"RoundLedger(total={self.total:.1f}, phases={len(self._phases)})"

@@ -1,0 +1,58 @@
+"""Message objects for the CONGEST-CLIQUE simulator.
+
+A *word* is the model's unit of bandwidth: ``O(log n)`` bits, enough to hold
+a vertex identifier or a (polynomially bounded) edge weight.  A message
+carries an arbitrary Python payload for the simulation plus an explicit
+``size_words`` that the router uses for congestion accounting — payloads are
+not serialized, but their declared sizes must reflect what a real
+implementation would transmit.  Every routine in this library that builds
+messages documents its size computation next to the construction site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.errors import NetworkError
+
+
+@dataclass(frozen=True)
+class Message:
+    """A point-to-point message.
+
+    Parameters
+    ----------
+    src, dst:
+        Labels of the sending and receiving (possibly virtual) nodes.  The
+        router resolves labels to physical nodes for load accounting.
+    payload:
+        Arbitrary simulation payload (numpy arrays, tuples, ...).
+    size_words:
+        Declared size in ``O(log n)``-bit words; must be a positive integer.
+    """
+
+    src: Hashable
+    dst: Hashable
+    payload: Any = field(compare=False)
+    size_words: int = 1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.size_words, int):
+            raise NetworkError(
+                f"size_words must be an int, got {type(self.size_words).__name__}"
+            )
+        if self.size_words <= 0:
+            raise NetworkError(f"size_words must be positive, got {self.size_words}")
+
+
+def array_words(array) -> int:
+    """Size accounting helper: one word per array element, minimum one.
+
+    Weight values are integers of magnitude ``poly(n) · W`` and thus fit in
+    ``O(log n + log W)`` bits — one model word (the paper's bounds carry the
+    ``log W`` factor explicitly through the number of binary-search rounds,
+    not through message sizes).
+    """
+    size = int(getattr(array, "size", len(array)))
+    return max(1, size)

@@ -1,0 +1,227 @@
+"""The CONGEST-CLIQUE network simulator.
+
+:class:`CongestClique` models ``n`` physical nodes on a complete graph with
+per-link bandwidth of one word per round.  Algorithms interact with it
+through three operations:
+
+* :meth:`CongestClique.register_scheme` — create a *labeling scheme*: a set
+  of (virtual) node labels mapped onto the physical nodes.  The paper uses
+  four schemes for the same network (vertex labels ``V``, triple labels
+  ``T = V × V × V′``, the third scheme ``V × V × [√n]``, and the
+  bandwidth-duplication scheme ``Tα × [2^α / (720 log n)]``); registering a
+  scheme is free — it is a relabeling, not communication.
+* :meth:`CongestClique.deliver` — route a batch of messages; rounds are
+  charged by Lemma 1 on the *physical* source/destination loads (virtual
+  labels hosted by the same physical node share its bandwidth).
+* :meth:`CongestClique.broadcast_all` — concurrent full broadcasts.
+
+Node-local computation is free (the model only counts communication).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Sequence
+
+from repro.congest.accounting import RoundLedger
+from repro.congest.message import Message
+from repro.congest.router import route_rounds
+from repro.errors import NetworkError
+from repro.util.rng import RngLike, ensure_rng, spawn_rng
+
+
+class Node:
+    """A (possibly virtual) network node.
+
+    ``label`` identifies the node within its labeling scheme; ``physical``
+    is the index of the physical clique node hosting it.  ``storage`` holds
+    node-local state; ``inbox`` receives ``(src_label, payload)`` tuples from
+    :meth:`CongestClique.deliver`.
+    """
+
+    __slots__ = ("label", "physical", "storage", "inbox", "rng")
+
+    def __init__(self, label: Hashable, physical: int, rng) -> None:
+        self.label = label
+        self.physical = physical
+        self.storage: dict[str, Any] = {}
+        self.inbox: list[tuple[Hashable, Any]] = []
+        self.rng = rng
+
+    def drain_inbox(self) -> list[tuple[Hashable, Any]]:
+        """Return and clear the inbox."""
+        received = self.inbox
+        self.inbox = []
+        return received
+
+    def __repr__(self) -> str:
+        return f"Node(label={self.label!r}, physical={self.physical})"
+
+
+class CongestClique:
+    """A synchronous fully connected network of ``num_nodes`` nodes."""
+
+    def __init__(self, num_nodes: int, *, rng: RngLike = None) -> None:
+        if num_nodes < 1:
+            raise NetworkError(f"need at least one node, got {num_nodes}")
+        self.num_nodes = num_nodes
+        self.rng = ensure_rng(rng)
+        self.ledger = RoundLedger()
+        #: Optional observational tracer (see repro.congest.trace); never
+        #: affects round charges or delivery semantics.
+        self.tracer = None
+        self._schemes: dict[str, dict[Hashable, Node]] = {}
+        # The base scheme: one label per physical node, identity placement.
+        base = {
+            i: Node(i, i, spawn_rng(self.rng)) for i in range(num_nodes)
+        }
+        self._schemes["base"] = base
+
+    # -- labeling schemes ------------------------------------------------
+
+    def register_scheme(self, name: str, labels: Sequence[Hashable]) -> dict[Hashable, Node]:
+        """Create (or replace) a labeling scheme.
+
+        Labels are assigned to physical nodes round-robin in the given
+        order.  When there are more labels than physical nodes, several
+        virtual nodes share one physical node (and hence its bandwidth);
+        this is the standard virtual-node simulation argument and is how the
+        implementation handles ``n`` that is not an exact fourth power.
+        """
+        if name == "base":
+            raise NetworkError("the 'base' scheme is reserved")
+        if len(set(labels)) != len(labels):
+            raise NetworkError(f"scheme {name!r} has duplicate labels")
+        scheme = {
+            label: Node(label, index % self.num_nodes, spawn_rng(self.rng))
+            for index, label in enumerate(labels)
+        }
+        self._schemes[name] = scheme
+        return scheme
+
+    def scheme(self, name: str) -> dict[Hashable, Node]:
+        """The label → node mapping of a registered scheme."""
+        try:
+            return self._schemes[name]
+        except KeyError:
+            raise NetworkError(f"unknown labeling scheme {name!r}") from None
+
+    def node(self, index: int) -> Node:
+        """The base-scheme node with physical index ``index``."""
+        return self._schemes["base"][index]
+
+    def base_nodes(self) -> list[Node]:
+        """All base-scheme nodes in index order."""
+        return [self._schemes["base"][i] for i in range(self.num_nodes)]
+
+    # -- communication ----------------------------------------------------
+
+    def deliver(
+        self,
+        messages: Iterable[Message],
+        phase: str,
+        *,
+        scheme: str = "base",
+        dst_scheme: str | None = None,
+    ) -> float:
+        """Route a batch of messages and charge rounds by Lemma 1.
+
+        ``scheme``/``dst_scheme`` name the labeling schemes of the message
+        sources and destinations (defaulting to the same scheme).  Returns
+        the rounds charged.
+        """
+        src_nodes = self.scheme(scheme)
+        dst_nodes = self.scheme(dst_scheme or scheme)
+        batch = list(messages)
+        if not batch:
+            return 0.0
+        src_load = [0] * self.num_nodes
+        dst_load = [0] * self.num_nodes
+        for message in batch:
+            try:
+                src = src_nodes[message.src]
+            except KeyError:
+                raise NetworkError(
+                    f"unknown source label {message.src!r} in scheme {scheme!r}"
+                ) from None
+            try:
+                dst = dst_nodes[message.dst]
+            except KeyError:
+                raise NetworkError(
+                    f"unknown destination label {message.dst!r} "
+                    f"in scheme {dst_scheme or scheme!r}"
+                ) from None
+            src_load[src.physical] += message.size_words
+            dst_load[dst.physical] += message.size_words
+            dst.inbox.append((message.src, message.payload))
+        rounds = route_rounds(self.num_nodes, src_load, dst_load)
+        self.ledger.charge(phase, rounds)
+        if self.tracer is not None:
+            self.tracer.record(
+                phase,
+                "deliver",
+                num_messages=len(batch),
+                total_words=sum(message.size_words for message in batch),
+                max_src_load=max(src_load),
+                max_dst_load=max(dst_load),
+                rounds=rounds,
+            )
+        return rounds
+
+    def broadcast_all(
+        self,
+        payloads: dict[Hashable, tuple[Any, int]],
+        phase: str,
+        *,
+        scheme: str = "base",
+    ) -> float:
+        """Every node in ``payloads`` broadcasts its payload to *all* base
+        nodes simultaneously.
+
+        ``payloads[label] = (payload, size_words)``.  A node can push one
+        word to every other node per round (same word on all ``n − 1``
+        links), so concurrent broadcasts of ``k_i`` words each finish in
+        ``max_i k_i`` rounds — but when several virtual broadcasters share a
+        physical node their words queue, so the charge is the maximum
+        *per-physical-node* total broadcast size.  Payloads are appended to
+        every base node's inbox as ``(src_label, payload)``.
+        """
+        if not payloads:
+            return 0.0
+        src_nodes = self.scheme(scheme)
+        per_physical = [0] * self.num_nodes
+        for label, (payload, size_words) in payloads.items():
+            if size_words <= 0:
+                raise NetworkError(f"broadcast of non-positive size from {label!r}")
+            try:
+                src = src_nodes[label]
+            except KeyError:
+                raise NetworkError(
+                    f"unknown broadcaster label {label!r} in scheme {scheme!r}"
+                ) from None
+            per_physical[src.physical] += size_words
+            for node in self.base_nodes():
+                node.inbox.append((label, payload))
+        rounds = float(max(per_physical))
+        self.ledger.charge(phase, rounds)
+        if self.tracer is not None:
+            total = sum(size for _, size in payloads.values())
+            self.tracer.record(
+                phase,
+                "broadcast",
+                num_messages=len(payloads) * self.num_nodes,
+                total_words=total * self.num_nodes,
+                max_src_load=max(per_physical),
+                max_dst_load=total,
+                rounds=rounds,
+            )
+        return rounds
+
+    def charge_local(self, phase: str, rounds: float = 0.0) -> None:
+        """Explicitly record a phase (possibly zero rounds, for reporting)."""
+        self.ledger.charge(phase, rounds)
+
+    def __repr__(self) -> str:
+        return (
+            f"CongestClique(n={self.num_nodes}, schemes={sorted(self._schemes)}, "
+            f"rounds={self.ledger.total:.1f})"
+        )

@@ -1,0 +1,46 @@
+"""The paper's primary contribution: quantum distributed APSP.
+
+Layering (bottom-up): problem definitions → ComputePairs (Theorem 2) →
+FindEdges via Proposition 1 → distance products via Proposition 2 →
+APSP via Proposition 3 (Theorem 1).
+"""
+
+from repro.core.apsp_solver import APSPReport, QuantumAPSP, solve_apsp_reference_pipeline
+from repro.core.compute_pairs import compute_pairs
+from repro.core.diameter import DiameterReport, eccentricities, quantum_diameter
+from repro.core.paths import APSPWithPaths, PathReport
+from repro.core.constants import PAPER, SIMULATION, PaperConstants
+from repro.core.find_edges import QuantumFindEdges, ReferenceFindEdges
+from repro.core.identify_class import ClassAssignment, run_identify_class
+from repro.core.problems import (
+    FindEdgesBackend,
+    FindEdgesInstance,
+    FindEdgesSolution,
+    PairSet,
+)
+from repro.core.reductions import DistanceProductReport, distance_product_via_find_edges
+
+__all__ = [
+    "PaperConstants",
+    "PAPER",
+    "SIMULATION",
+    "FindEdgesInstance",
+    "FindEdgesSolution",
+    "FindEdgesBackend",
+    "PairSet",
+    "compute_pairs",
+    "run_identify_class",
+    "ClassAssignment",
+    "QuantumFindEdges",
+    "ReferenceFindEdges",
+    "distance_product_via_find_edges",
+    "DistanceProductReport",
+    "QuantumAPSP",
+    "APSPReport",
+    "solve_apsp_reference_pipeline",
+    "APSPWithPaths",
+    "PathReport",
+    "quantum_diameter",
+    "eccentricities",
+    "DiameterReport",
+]

@@ -1,0 +1,338 @@
+"""Algorithm ComputePairs (Figure 1) — the Õ(n^{1/4})-round solver for
+FindEdgesWithPromise (Theorem 2).
+
+The three steps, all message-accurate on a :class:`CongestClique`:
+
+1. **Load** — every triple node ``(u, v, w) ∈ T = V × V × V′`` gathers the
+   witness weights ``f(u, w)`` for ``{u, w} ∈ P(u, w)`` and ``f(w, v)`` for
+   ``{w, v} ∈ P(w, v)``; ``Θ(n^{5/4})`` words per node ⇒ ``O(n^{1/4})``
+   rounds by Lemma 1.
+2. **Sample** — every search node ``(u, v, x) ∈ V × V × [√n]`` draws its
+   random pair set ``Λx(u, v) ⊆ P(u, v)`` with rate ``10 log n / √n``,
+   aborts unless all sets are *well-balanced* (Lemma 2), and loads the pair
+   weights and scope membership of its sampled pairs.
+3. **Search** — Algorithm IdentifyClass partitions the triples into load
+   classes, then each node runs one quantum search per kept pair over each
+   class's blocks (:mod:`repro.core.quantum_step3`).
+
+Aborts (low-probability bad events of the randomized constructions) raise
+:class:`ProtocolAbortedError` internally; :func:`compute_pairs` retries with
+fresh randomness a bounded number of times, mirroring the paper's
+"with probability ≥ 1 − 2/n the protocol does not abort".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.congest.message import Message
+from repro.congest.network import CongestClique
+from repro.congest.partitions import CliquePartitions
+from repro.core.constants import SIMULATION, PaperConstants
+from repro.core.evaluation import block_two_hop
+from repro.core.identify_class import run_identify_class
+from repro.core.problems import FindEdgesInstance, FindEdgesSolution
+from repro.core.quantum_step3 import run_step3
+from repro.errors import ConvergenceError, ProtocolAbortedError
+from repro.util.rng import RngLike, ensure_rng, spawn_rng
+
+
+def compute_pairs(
+    instance: FindEdgesInstance,
+    *,
+    constants: PaperConstants = SIMULATION,
+    rng: RngLike = None,
+    search_mode: str = "quantum",
+    max_retries: int = 5,
+    amplification: float = 12.0,
+    attach_payloads: bool = False,
+) -> FindEdgesSolution:
+    """Solve FindEdgesWithPromise with Algorithm ComputePairs.
+
+    Returns the detected scope pairs together with the full round ledger.
+    Retries up to ``max_retries`` times on protocol aborts; raises
+    :class:`ConvergenceError` if every attempt aborts (probability
+    ``O(n^{-max_retries})`` under the paper's parameters).
+    """
+    generator = ensure_rng(rng)
+    aborts = 0
+    for _ in range(max_retries):
+        try:
+            solution = _compute_pairs_once(
+                instance,
+                constants=constants,
+                rng=spawn_rng(generator),
+                search_mode=search_mode,
+                amplification=amplification,
+                attach_payloads=attach_payloads,
+            )
+        except ProtocolAbortedError:
+            aborts += 1
+            continue
+        solution.aborts = aborts
+        return solution
+    raise ConvergenceError(
+        f"ComputePairs aborted {max_retries} times in a row; "
+        "constants.scale may be too aggressive for this n"
+    )
+
+
+def _compute_pairs_once(
+    instance: FindEdgesInstance,
+    *,
+    constants: PaperConstants,
+    rng: np.random.Generator,
+    search_mode: str,
+    amplification: float,
+    attach_payloads: bool = False,
+) -> FindEdgesSolution:
+    n = instance.num_vertices
+    network = CongestClique(n, rng=spawn_rng(rng))
+    partitions = CliquePartitions(n)
+    witness = instance.graph.weights
+
+    network.register_scheme("triple", partitions.triple_labels())
+    network.register_scheme("search", partitions.search_labels())
+
+    _step1_load(network, partitions, witness if attach_payloads else None)
+
+    # Node-local two-hop tables: what the triple nodes (u, v, ·) jointly
+    # compute from the weights gathered in Step 1 (free: local computation).
+    fine_blocks = partitions.fine.blocks()
+    cache: dict[tuple[int, int], np.ndarray] = {}
+
+    def two_hop_for(bu: int, bv: int) -> np.ndarray:
+        key = (bu, bv)
+        if key not in cache:
+            cache[key] = block_two_hop(
+                witness,
+                partitions.coarse.block(bu),
+                partitions.coarse.block(bv),
+                fine_blocks,
+            )
+        return cache[key]
+
+    node_pairs, coverage = _step2_sample(
+        network, partitions, instance, constants, rng, two_hop_for
+    )
+
+    assignment = run_identify_class(
+        network, instance, partitions, constants, two_hop_for, rng
+    )
+
+    step3 = run_step3(
+        network,
+        partitions,
+        constants,
+        assignment,
+        node_pairs,
+        rng=rng,
+        search_mode=search_mode,
+        amplification=amplification,
+    )
+
+    details = {
+        "coverage": coverage,
+        "num_search_nodes": len(node_pairs),
+        "total_kept_pairs": int(sum(len(p) for p, _, _ in node_pairs.values())),
+        "classes": sorted(set(assignment.classes.values())),
+        "eval_rounds_per_alpha": step3.eval_rounds_per_alpha,
+        "search_rounds_per_alpha": step3.search_rounds_per_alpha,
+        "duplication_per_alpha": step3.duplication_per_alpha,
+        "typicality_truncations": step3.typicality_truncations,
+        "corrupted_repetitions": step3.corrupted_repetitions,
+        "total_searches": step3.total_searches,
+    }
+    return FindEdgesSolution(
+        pairs=step3.found_pairs,
+        rounds=network.ledger.total,
+        ledger=network.ledger,
+        details=details,
+    )
+
+
+def _step1_load(
+    network: CongestClique,
+    partitions: CliquePartitions,
+    witness: np.ndarray | None = None,
+) -> None:
+    """Step 1: ship the witness-weight slices to the triple nodes.
+
+    Row owner ``u`` (a base node) sends, for each triple node
+    ``(u, v, w)`` with ``u ∈ u``, its row restricted to the fine block
+    ``w`` (``f(u, w)`` values); and for each triple node with ``w ∈ w``, its
+    row restricted to the coarse block ``v`` (``f(w, v)`` values).
+
+    By default payloads are elided (the simulator computes the resulting
+    node-local tables directly from the instance matrix); sizes are exact
+    either way, so the Lemma 1 charge is exact.  Passing the ``witness``
+    matrix attaches the *actual* row slices, tagged with their role, so the
+    fidelity tests can rebuild each triple node's local tables purely from
+    its inbox and prove the elision faithful.
+    """
+    messages: list[Message] = []
+    coarse = partitions.coarse
+    fine = partitions.fine
+    for bu in range(partitions.num_coarse):
+        rows_u = coarse.block(bu)
+        for bv in range(partitions.num_coarse):
+            for bw in range(partitions.num_fine):
+                label = (bu, bv, bw)
+                fine_block = fine.block(bw)
+                coarse_block = coarse.block(bv)
+                size_fine = len(fine_block)
+                size_coarse = len(coarse_block)
+                for u in rows_u.tolist():
+                    payload = (
+                        ("uw", u, witness[u, fine_block].copy())
+                        if witness is not None
+                        else None
+                    )
+                    messages.append(Message(u, label, payload, size_words=size_fine))
+                for w in fine_block.tolist():
+                    payload = (
+                        ("wv", w, witness[w, coarse_block].copy())
+                        if witness is not None
+                        else None
+                    )
+                    messages.append(Message(w, label, payload, size_words=size_coarse))
+    network.deliver(
+        messages, "compute_pairs.step1_load", scheme="base", dst_scheme="triple"
+    )
+
+
+def _step2_sample(
+    network: CongestClique,
+    partitions: CliquePartitions,
+    instance: FindEdgesInstance,
+    constants: PaperConstants,
+    rng: np.random.Generator,
+    two_hop_for,
+):
+    """Step 2: sample ``Λx(u, v)``, enforce well-balancedness, and load the
+    pair weights / scope membership of the sampled pairs.
+
+    Returns ``(node_pairs, coverage)`` where ``node_pairs`` maps each search
+    label to ``(pairs, weights, witness_table)`` for its kept (in-scope)
+    pairs, and ``coverage`` is the fraction of in-scope pairs covered by at
+    least one ``Λx`` set (Lemma 2 (ii) says it is 1 w.h.p.).
+    """
+    n = instance.num_vertices
+    rate = constants.lambda_rate(n)
+    balance = constants.balance_bound(n)
+    scope = instance.effective_scope()
+    pair_weights = instance.effective_pair_graph().weights
+    coarse = partitions.coarse
+
+    request_messages: list[Message] = []
+    reply_messages: list[Message] = []
+    node_pairs: dict[tuple[int, int, int], tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+    covered: set[tuple[int, int]] = set()
+
+    for bu in range(partitions.num_coarse):
+        for bv in range(partitions.num_coarse):
+            all_pairs = partitions.block_pairs(bu, bv)
+            if len(all_pairs) == 0:
+                continue
+            block_u = coarse.block(bu)
+            start_u = int(block_u[0])
+            start_v = int(coarse.block(bv)[0])
+            for x in range(partitions.num_fine):
+                label = (bu, bv, x)
+                mask = rng.random(len(all_pairs)) < rate
+                lam = all_pairs[mask]
+                if len(lam) == 0:
+                    node_pairs[label] = _empty_node_entry(partitions.num_fine)
+                    continue
+                # Well-balancedness (Lemma 2 (i)): for every u in block u,
+                # the number of sampled pairs touching u stays below the cap.
+                touching_u = np.concatenate([lam[:, 0], lam[:, 1]])
+                touching_u = touching_u[
+                    (touching_u >= block_u[0]) & (touching_u <= block_u[-1])
+                ]
+                if touching_u.size:
+                    _, counts = np.unique(touching_u, return_counts=True)
+                    if counts.max() > balance:
+                        raise ProtocolAbortedError(
+                            "compute_pairs.step2",
+                            f"Λ_{x}({bu},{bv}) unbalanced: "
+                            f"{int(counts.max())} > {balance:.1f}",
+                        )
+                # Load pair weights & scope bits from the pair owners: the
+                # request names each pair (1 word), the reply carries weight
+                # plus membership (2 words).
+                owners = lam[:, 0]
+                for owner in np.unique(owners).tolist():
+                    count = int((owners == owner).sum())
+                    request_messages.append(
+                        Message(label, int(owner), None, size_words=count)
+                    )
+                    reply_messages.append(
+                        Message(int(owner), label, None, size_words=2 * count)
+                    )
+                keep_rows = [
+                    index
+                    for index, (a, b) in enumerate(map(tuple, lam.tolist()))
+                    if (a, b) in scope and np.isfinite(pair_weights[a, b])
+                ]
+                kept = lam[keep_rows]
+                covered.update(map(tuple, kept.tolist()))
+                weights = pair_weights[kept[:, 0], kept[:, 1]]
+                witness_table = _witness_table(
+                    kept, two_hop_for(bu, bv), weights, bu, bv, start_u, start_v, coarse
+                )
+                node_pairs[label] = (kept, weights, witness_table)
+
+    network.deliver(
+        request_messages, "compute_pairs.step2_request", scheme="search", dst_scheme="base"
+    )
+    network.deliver(
+        reply_messages, "compute_pairs.step2_reply", scheme="base", dst_scheme="search"
+    )
+
+    eligible = {
+        pair
+        for pair in scope
+        if np.isfinite(pair_weights[pair[0], pair[1]])
+    }
+    coverage = 1.0 if not eligible else len(covered & eligible) / len(eligible)
+    return node_pairs, coverage
+
+
+def _empty_node_entry(num_fine: int):
+    return (
+        np.empty((0, 2), dtype=np.int64),
+        np.empty(0),
+        np.empty((0, num_fine), dtype=bool),
+    )
+
+
+def _witness_table(
+    pairs: np.ndarray,
+    two_hop: np.ndarray,
+    weights: np.ndarray,
+    bu: int,
+    bv: int,
+    start_u: int,
+    start_v: int,
+    coarse,
+) -> np.ndarray:
+    """``table[ℓ, w] = True`` iff fine block ``w`` contains a witness
+    closing a negative triangle with pair ``ℓ``:
+    ``min_{w∈w}(f(a, w) + f(w, b)) < −f(a, b)``.
+
+    Canonical pairs may have their first endpoint in either block; the
+    two-hop tensor is symmetric in the pair (undirected weights), so a
+    swapped pair indexes as ``[b_local, a_local]``.
+    """
+    if len(pairs) == 0:
+        return np.empty((0, two_hop.shape[2]), dtype=bool)
+    a = pairs[:, 0]
+    b = pairs[:, 1]
+    a_in_u = coarse.block_index_array()[a] == bu
+    rows = np.where(a_in_u, a - start_u, b - start_u)
+    cols = np.where(a_in_u, b - start_v, a - start_v)
+    values = two_hop[rows, cols, :]  # (num_pairs, num_fine)
+    return values < -weights[:, None]

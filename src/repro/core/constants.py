@@ -1,0 +1,119 @@
+"""The paper's explicit constants, with a global scale knob.
+
+Every threshold in the paper multiplies an absolute constant by ``log n``
+(we use ``log2``, clamped at 1 — see ``repro.util.mathutil.guarded_log``):
+
+=====================  ========================================  ===========
+attribute              paper quantity                            where
+=====================  ========================================  ===========
+``promise``            ``Γ(u,v) ≤ 90 log n``                     FindEdgesWithPromise
+``lambda_rate``        pair-sampling prob ``10 log n / √n``      Section 5.1
+``balance``            well-balanced ``≤ 100 n^{1/4} log n``     Section 5.1
+``identify_rate``      vertex-sampling prob ``10 log n / n``     Fig. 2, Step 1
+``identify_abort``     abort if ``|Λ(u)| > 20 log n``            Fig. 2, Step 1
+``class_threshold``    ``c`` smallest with ``d < 10·2^c log n``  Fig. 2, Step 2
+``class_bound``        ``|Tα[u,v]| ≤ 720 √n log n / 2^α``        Lemma 4
+``eval_beta``          ``β = 800·2^α·√n·log n``                  Section 5.3
+``findedges_sample``   loop condition ``60·2^i log n ≤ n``       Prop. 1
+``pairs_per_node``     ``m = 100 n log n`` kept pairs            Section 5.1
+=====================  ========================================  ===========
+
+At the ``n`` reachable in simulation (tens to a few thousands of nodes) the
+paper's constants make every threshold exceed ``n`` — the algorithms remain
+*correct* but their probabilistic machinery never bites (every set is
+"well-balanced", every class is ``T0``, the Prop. 1 loop body never runs).
+``scale`` multiplies all rates and thresholds coherently so experiments can
+exercise the interesting regimes while keeping the constants' *ratios*
+(e.g. ``β/2`` vs. Lemma 3's solution-load bound) intact.  ``scale=1``
+reproduces the paper exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.mathutil import guarded_log
+
+
+@dataclass(frozen=True)
+class PaperConstants:
+    """Bundle of the paper's constants (see module docstring)."""
+
+    scale: float = 1.0
+    promise_factor: float = 90.0
+    lambda_rate_factor: float = 10.0
+    balance_factor: float = 100.0
+    identify_rate_factor: float = 10.0
+    identify_abort_factor: float = 20.0
+    class_threshold_factor: float = 10.0
+    class_bound_factor: float = 720.0
+    eval_beta_factor: float = 800.0
+    findedges_sample_factor: float = 60.0
+    pairs_per_node_factor: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+
+    # -- scaled quantities -------------------------------------------------
+
+    def log_n(self, n: int) -> float:
+        """The clamped ``log n`` every bound multiplies."""
+        return guarded_log(n)
+
+    def promise_bound(self, n: int) -> float:
+        """``90 log n`` (scaled): FindEdgesWithPromise's per-pair cap."""
+        return self.scale * self.promise_factor * self.log_n(n)
+
+    def lambda_rate(self, n: int) -> float:
+        """Sampling probability ``10 log n / √n`` of ``Λx(u, v)`` (capped at 1)."""
+        return min(1.0, self.scale * self.lambda_rate_factor * self.log_n(n) / n ** 0.5)
+
+    def balance_bound(self, n: int) -> float:
+        """Well-balancedness cap ``100 n^{1/4} log n`` on
+        ``|{v ∈ v : {u, v} ∈ Λx(u, v)}|`` per ``u``."""
+        return self.scale * self.balance_factor * n ** 0.25 * self.log_n(n)
+
+    def identify_rate(self, n: int) -> float:
+        """Vertex sampling probability ``10 log n / n`` in IdentifyClass."""
+        return min(1.0, self.scale * self.identify_rate_factor * self.log_n(n) / n)
+
+    def identify_abort_bound(self, n: int) -> float:
+        """IdentifyClass abort threshold ``20 log n`` on ``|Λ(u)|``."""
+        return self.scale * self.identify_abort_factor * self.log_n(n)
+
+    def class_threshold(self, n: int, alpha: int) -> float:
+        """``10 · 2^α · log n`` — ``c_{uvw}`` is the least ``c`` with
+        ``d_{uvw}`` below this threshold."""
+        return self.scale * self.class_threshold_factor * (2.0 ** alpha) * self.log_n(n)
+
+    def class_size_bound(self, n: int, alpha: int) -> float:
+        """Lemma 4's bound ``720 √n log n / 2^α`` on ``|Tα[u, v]|``."""
+        return self.scale * self.class_bound_factor * n ** 0.5 * self.log_n(n) / (2.0 ** alpha)
+
+    def eval_beta(self, n: int, alpha: int) -> float:
+        """The typicality threshold ``β = 800 · 2^α · √n · log n`` used by
+        the evaluation procedures of Figures 4 and 5."""
+        return self.scale * self.eval_beta_factor * (2.0 ** alpha) * n ** 0.5 * self.log_n(n)
+
+    def findedges_loop_threshold(self, n: int, iteration: int) -> float:
+        """``60 · 2^i · log n`` — Prop. 1's loop runs while this is ``≤ n``."""
+        return self.scale * self.findedges_sample_factor * (2.0 ** iteration) * self.log_n(n)
+
+    def findedges_sample_probability(self, n: int, iteration: int) -> float:
+        """Edge-sampling probability ``√(60 · 2^i · log n / n)`` of
+        Algorithm B (capped at 1)."""
+        return min(1.0, (self.findedges_loop_threshold(n, iteration) / n) ** 0.5)
+
+    def pairs_per_node(self, n: int) -> int:
+        """The nominal ``m = 100 n log n`` pair count per search node."""
+        return max(1, int(round(self.scale * self.pairs_per_node_factor * n * self.log_n(n))))
+
+
+#: The paper's constants, unscaled.
+PAPER = PaperConstants()
+
+#: A scale suitable for simulation-size experiments: thresholds stay small
+#: relative to n so the machinery (classes, balancing, sampling loop)
+#: actually engages at n in the hundreds.
+SIMULATION = PaperConstants(scale=0.05)

@@ -1,0 +1,148 @@
+"""Evaluation procedures for the Step-3 quantum searches (Figures 4 and 5).
+
+The quantum searches of ComputePairs query, for a pair ``{u, v}`` and a fine
+block ``w``, whether some ``w ∈ w`` closes a negative triangle — i.e.
+whether ``min_{w∈w}(f(u, w) + f(w, v)) < −f(u, v)``.  (The paper's
+Inequality (2) prints this test as ``min ≤ f(u, v)``; the negative-triangle
+definition it is checking — ``f(u,v) + f(u,w) + f(w,v) < 0`` — requires the
+strict ``< −f(u, v)`` form, which is what this implementation uses.)
+
+Two pieces live here:
+
+* :func:`block_two_hop` — the node-local computation performed by the triple
+  node ``(u, v, w)`` from the weights it gathered in Step 1.  In the
+  simulator this is evaluated directly from the instance's weight matrix;
+  it is byte-identical to what the triple nodes would compute and costs no
+  rounds (local computation is free in the model).
+* the **round costs** of one application of the evaluation procedure:
+  :func:`fig4_eval_rounds` for class ``α = 0`` and :func:`fig5_eval_rounds`
+  for ``α > 0`` (with the bandwidth-duplication labeling
+  ``Tα × [2^α / (720·log n)]``).  These compute the exact Lemma-1 charge of
+  the procedure's message pattern: each search node sends each queried pair
+  (2 vertex ids + 1 weight = 3 words) to the responsible (duplicated) triple
+  node, per-destination loads capped at ``β`` pairs by the typicality
+  truncation, and the answers (1 word per pair) flow back — "with the same
+  complexity as Step 1" (Fig. 4), hence the factor 2.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.congest.partitions import CliquePartitions
+from repro.congest.router import route_rounds
+from repro.core.constants import PaperConstants
+
+#: Words per queried pair in the forward direction: two endpoint ids and the
+#: pair weight (Fig. 4 Step 1: "together to each pair sent, its weight").
+PAIR_QUERY_WORDS = 3
+#: Words per answer in the backward direction (one bit, one-word granularity).
+PAIR_ANSWER_WORDS = 1
+
+
+def block_two_hop(
+    weights: np.ndarray,
+    block_u: np.ndarray,
+    block_v: np.ndarray,
+    fine_blocks: Sequence[np.ndarray],
+) -> np.ndarray:
+    """``H[a, b, w] = min_{w ∈ fine_blocks[w]} (weights[u_a, w] + weights[w, v_b])``.
+
+    The slice of two-hop min-plus values the triple nodes ``(u, v, ·)``
+    jointly hold after Step 1 of ComputePairs, one layer per fine block.
+    Shape ``(len(block_u), len(block_v), len(fine_blocks))``; entries are
+    ``+inf`` where no witness path exists.
+    """
+    size_u = len(block_u)
+    size_v = len(block_v)
+    out = np.empty((size_u, size_v, len(fine_blocks)))
+    rows_u = weights[np.ix_(block_u, np.arange(weights.shape[0]))]
+    for index, fine in enumerate(fine_blocks):
+        left = rows_u[:, fine]                      # (|u|, |w|)
+        right = weights[np.ix_(fine, block_v)]      # (|w|, |v|)
+        # (|u|, |w|, 1) + (1, |w|, |v|) → min over the witness axis.
+        out[:, :, index] = (left[:, :, None] + right[None, :, :]).min(axis=1)
+    return out
+
+
+def duplication_count(constants: PaperConstants, n: int, alpha: int) -> int:
+    """Size of the duplication index set ``[2^α / (720 log n)]`` for class
+    ``α`` (Section 5.3.2), at least 1.  The ``720 log n`` denominator uses
+    the same (scaled) constant as Lemma 4 so that ``|Tα| × duplication ≤ n``
+    keeps holding under the scale knob."""
+    if alpha == 0:
+        return 1
+    denom = constants.class_bound_factor * constants.scale * constants.log_n(n)
+    return max(1, int(round((2.0 ** alpha) / denom)))
+
+
+def _query_loads(
+    num_nodes: int,
+    node_physical: Mapping[object, int],
+    query_plan: Mapping[object, Mapping[object, int]],
+    dest_physical: Mapping[object, int],
+    beta_pairs: float,
+) -> tuple[list[int], list[int]]:
+    """Source/destination word loads of one forward evaluation delivery.
+
+    ``query_plan[src_label][dst_label] = number of pairs`` that the search
+    node ``src_label`` queries at the (possibly duplicated) triple node
+    ``dst_label``; per-destination pair counts are capped at ``β`` by the
+    typicality truncation before conversion to words.
+    """
+    src_load = [0] * num_nodes
+    dst_load = [0] * num_nodes
+    for src_label, destinations in query_plan.items():
+        src_phys = node_physical[src_label]
+        for dst_label, num_pairs in destinations.items():
+            capped = min(int(num_pairs), int(np.ceil(beta_pairs)))
+            if capped <= 0:
+                continue
+            words = PAIR_QUERY_WORDS * capped
+            src_load[src_phys] += words
+            dst_load[dest_physical[dst_label]] += words
+    return src_load, dst_load
+
+
+def evaluation_rounds(
+    num_nodes: int,
+    node_physical: Mapping[object, int],
+    query_plan: Mapping[object, Mapping[object, int]],
+    dest_physical: Mapping[object, int],
+    beta_pairs: float,
+) -> float:
+    """Round cost of one application of the evaluation procedure.
+
+    Forward (queries) plus backward (answers); the backward direction moves
+    ``PAIR_ANSWER_WORDS / PAIR_QUERY_WORDS`` as many words along the reversed
+    pattern, which Lemma 1 charges at most as much as the forward direction,
+    so the paper's "same complexity" is charged as a second forward cost.
+    """
+    src_load, dst_load = _query_loads(
+        num_nodes, node_physical, query_plan, dest_physical, beta_pairs
+    )
+    one_way = route_rounds(num_nodes, src_load, dst_load)
+    return 2.0 * one_way
+
+
+def step0_duplication_loads(
+    num_nodes: int,
+    source_physical: Mapping[object, int],
+    duplicate_physical: Mapping[object, Sequence[int]],
+    words_per_source: Mapping[object, int],
+) -> float:
+    """Round cost of Fig. 5's Step 0: every class-``α`` triple node
+    broadcasts its Step-1 data to its duplicate labels (once per class, not
+    per oracle call — the duplicated data is classical and static)."""
+    src_load = [0] * num_nodes
+    dst_load = [0] * num_nodes
+    for label, duplicates in duplicate_physical.items():
+        words = int(words_per_source[label])
+        for phys in duplicates:
+            if phys == source_physical[label]:
+                continue  # duplicate hosted on the same physical node: free
+            src_load[source_physical[label]] += words
+            dst_load[phys] += words
+    return route_rounds(num_nodes, src_load, dst_load)

@@ -1,0 +1,265 @@
+"""Step 3 of Algorithm ComputePairs: the quantum searches (Section 5.3).
+
+For every class ``α``, every search node ``(u, v, x)`` runs one quantum
+search per kept pair over the domain ``X = Tα[u, v]`` — "is there a fine
+block ``w`` of class ``α`` containing a witness ``w`` that closes a negative
+triangle with this pair?".  All searches across all nodes advance in
+lockstep because each Grover iteration is one application of the *global*
+evaluation procedure (Figure 4 for ``α = 0``, Figure 5 with bandwidth
+duplication for ``α > 0``); the network-wide round charge of a phase is
+therefore the shared iteration schedule's cost, with the evaluation round
+cost measured from the procedure's actual message pattern.
+
+The per-node searches are simulated by :class:`repro.quantum.multisearch.
+MultiSearch`, which also enforces the typicality machinery of Theorem 3
+(``β = 800 · 2^α · √n · log n``): solution sets that overload one block
+(Lemma 3 failing) are truncated exactly as ``C̃_m`` would, and Lemma 5's
+fidelity penalty is injected per repetition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.congest.network import CongestClique
+from repro.congest.partitions import CliquePartitions
+from repro.core.constants import PaperConstants
+from repro.core.evaluation import (
+    duplication_count,
+    evaluation_rounds,
+    step0_duplication_loads,
+)
+from repro.core.identify_class import ClassAssignment
+from repro.quantum.amplitude import max_iterations
+from repro.quantum.multisearch import MultiSearch
+from repro.util.mathutil import guarded_log
+from repro.util.rng import ensure_rng, spawn_rng
+
+#: Per-node search payload: canonical pairs (k, 2), their weights (k,) and
+#: their witness truth table over all fine blocks (k, num_fine).
+NodePairs = Mapping[tuple[int, int, int], tuple[np.ndarray, np.ndarray, np.ndarray]]
+
+
+@dataclass
+class Step3Report:
+    """Diagnostics of the search phase."""
+
+    found_pairs: set[tuple[int, int]] = field(default_factory=set)
+    eval_rounds_per_alpha: dict[int, float] = field(default_factory=dict)
+    search_rounds_per_alpha: dict[int, float] = field(default_factory=dict)
+    duplication_per_alpha: dict[int, int] = field(default_factory=dict)
+    typicality_truncations: int = 0
+    corrupted_repetitions: int = 0
+    total_searches: int = 0
+
+
+def run_step3(
+    network: CongestClique,
+    partitions: CliquePartitions,
+    constants: PaperConstants,
+    assignment: ClassAssignment,
+    node_pairs: NodePairs,
+    *,
+    rng=None,
+    search_mode: str = "quantum",
+    amplification: float = 12.0,
+) -> Step3Report:
+    """Execute Step 3 and return the union of detected pairs.
+
+    ``node_pairs[(bu, bv, x)] = (pairs, weights, witness_table)`` where
+    ``witness_table[ℓ, w]`` says whether fine block ``w`` contains a witness
+    for pair ``ℓ`` — the truth tables the evaluation procedure would compute
+    (see the simulation contract in :mod:`repro.quantum.distributed`).
+
+    ``search_mode`` selects ``"quantum"`` (Grover, ``O(√|X|)`` evaluations)
+    or ``"classical"`` (linear scan over ``X``, ``|X|`` evaluations) — the
+    latter is the ablation baseline quantifying exactly where the quantum
+    speedup enters.
+    """
+    if search_mode not in ("quantum", "classical"):
+        raise ValueError(f"unknown search_mode {search_mode!r}")
+    generator = ensure_rng(rng)
+    n = partitions.num_vertices
+    report = Step3Report()
+
+    all_alphas = sorted({alpha for alpha in assignment.classes.values()})
+    for alpha in all_alphas:
+        _run_class(
+            network,
+            partitions,
+            constants,
+            assignment,
+            node_pairs,
+            alpha,
+            report,
+            generator,
+            search_mode,
+            amplification,
+        )
+    return report
+
+
+def _run_class(
+    network: CongestClique,
+    partitions: CliquePartitions,
+    constants: PaperConstants,
+    assignment: ClassAssignment,
+    node_pairs: NodePairs,
+    alpha: int,
+    report: Step3Report,
+    generator,
+    search_mode: str,
+    amplification: float,
+) -> None:
+    n = partitions.num_vertices
+    beta = constants.eval_beta(n, alpha)
+    dup = duplication_count(constants, n, alpha)
+    report.duplication_per_alpha[alpha] = dup
+
+    # Per-node search domains for this class.
+    domains: dict[tuple[int, int, int], list[int]] = {}
+    for label in node_pairs:
+        bu, bv, _x = label
+        blocks = assignment.blocks_of_class(bu, bv, alpha)
+        if blocks:
+            domains[label] = blocks
+    if not domains:
+        report.eval_rounds_per_alpha[alpha] = 0.0
+        report.search_rounds_per_alpha[alpha] = 0.0
+        return
+
+    # --- destination labels (duplicated triple nodes) and Step 0 charge ---
+    triple_scheme = network.scheme("triple")
+    if dup > 1:
+        dup_labels = [
+            (bu, bv, bw, y)
+            for (bu, bv, bw), cls in assignment.classes.items()
+            if cls == alpha
+            for y in range(dup)
+        ]
+        scheme_name = f"step3_dup_alpha{alpha}"
+        dup_scheme = network.register_scheme(scheme_name, dup_labels)
+        dest_physical = {label: node.physical for label, node in dup_scheme.items()}
+        # Fig. 5 Step 0: replicate the Step-1 data to the duplicates (once).
+        source_physical = {
+            label: node.physical for label, node in triple_scheme.items()
+        }
+        size_u = partitions.coarse.max_block_size
+        size_w = partitions.fine.max_block_size
+        words = size_u * size_w * 2  # F_uw plus F_wv
+        duplicate_physical = {
+            (bu, bv, bw): [dest_physical[(bu, bv, bw, y)] for y in range(dup)]
+            for (bu, bv, bw), cls in assignment.classes.items()
+            if cls == alpha
+        }
+        step0 = step0_duplication_loads(
+            network.num_nodes,
+            source_physical,
+            duplicate_physical,
+            {label: words for label in duplicate_physical},
+        )
+        network.charge_local(f"step3.alpha{alpha}.duplication", step0)
+    else:
+        dest_physical = {
+            label: node.physical for label, node in triple_scheme.items()
+        }
+
+    # --- evaluation round cost of one oracle application -----------------
+    search_scheme = network.scheme("search")
+    node_physical = {label: node.physical for label, node in search_scheme.items()}
+    query_plan: dict[object, dict[object, int]] = {}
+    for label, blocks in domains.items():
+        bu, bv, _x = label
+        num_pairs = len(node_pairs[label][0])
+        if num_pairs == 0:
+            continue
+        per_dest = min(num_pairs, int(np.ceil(beta)))
+        plan: dict[object, int] = {}
+        for bw in blocks:
+            if dup > 1:
+                share = max(1, -(-per_dest // dup))
+                for y in range(dup):
+                    plan[(bu, bv, bw, y)] = share
+            else:
+                plan[(bu, bv, bw)] = per_dest
+        query_plan[label] = plan
+    eval_r = evaluation_rounds(
+        network.num_nodes, node_physical, query_plan, dest_physical, beta
+    )
+    # An oracle application always costs at least one round of interaction.
+    eval_r = max(eval_r, 1.0)
+    report.eval_rounds_per_alpha[alpha] = eval_r
+
+    # --- the searches ------------------------------------------------------
+    if search_mode == "classical":
+        _run_class_classical(network, domains, node_pairs, assignment, alpha, eval_r, report)
+        return
+
+    max_domain = max(len(blocks) for blocks in domains.values())
+    max_m = max(len(node_pairs[label][0]) for label in domains)
+    cap = max_iterations(max_domain + 1)
+    repetitions = max(
+        1, int(np.ceil(amplification * guarded_log(max(max_m, 2))))
+    )
+    schedule = generator.integers(0, cap + 1, size=repetitions).tolist()
+
+    phase_rounds = 0.0
+    for label, blocks in domains.items():
+        pairs, _weights, witness_table = node_pairs[label]
+        if len(pairs) == 0:
+            continue
+        block_positions = {bw: index for index, bw in enumerate(blocks)}
+        columns = np.array(blocks, dtype=np.int64)
+        sub_table = witness_table[:, columns]  # (num_pairs, |X|)
+        marked_sets = [np.nonzero(row)[0] for row in sub_table]
+        search = MultiSearch(
+            len(blocks),
+            marked_sets,
+            beta=beta,
+            eval_rounds=eval_r,
+            amplification=amplification,
+            rng=spawn_rng(generator),
+        )
+        result = search.run(schedule=schedule)
+        report.total_searches += len(marked_sets)
+        report.typicality_truncations += result.typicality.truncated_entries
+        report.corrupted_repetitions += result.corrupted_repetitions
+        phase_rounds = max(phase_rounds, result.rounds)
+        for index in np.nonzero(result.found_mask())[0].tolist():
+            u, v = pairs[index]
+            report.found_pairs.add((int(u), int(v)))
+    # All nodes search in the same (global) rounds: the phase costs the
+    # longest node schedule, not the sum.
+    network.charge_local(f"step3.alpha{alpha}.search", phase_rounds)
+    report.search_rounds_per_alpha[alpha] = phase_rounds
+
+
+def _run_class_classical(
+    network: CongestClique,
+    domains: Mapping[tuple[int, int, int], list[int]],
+    node_pairs: NodePairs,
+    assignment: ClassAssignment,
+    alpha: int,
+    eval_r: float,
+    report: Step3Report,
+) -> None:
+    """Linear-scan ablation: every node checks each block of its domain with
+    one evaluation each — ``|X| · r`` rounds instead of ``Õ(√|X|) · r``,
+    and deterministic (exact) detection."""
+    max_domain = max(len(blocks) for blocks in domains.values())
+    rounds = eval_r * max_domain
+    for label, blocks in domains.items():
+        pairs, _weights, witness_table = node_pairs[label]
+        if len(pairs) == 0:
+            continue
+        columns = np.array(blocks, dtype=np.int64)
+        hit = witness_table[:, columns].any(axis=1)
+        report.total_searches += len(pairs)
+        for index in np.nonzero(hit)[0].tolist():
+            u, v = pairs[index]
+            report.found_pairs.add((int(u), int(v)))
+    network.charge_local(f"step3.alpha{alpha}.search", rounds)
+    report.search_rounds_per_alpha[alpha] = rounds

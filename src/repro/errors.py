@@ -1,0 +1,68 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific failures derive from :class:`ReproError` so that callers
+can catch everything coming out of this package with a single handler while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class GraphError(ReproError):
+    """Raised when a graph input is malformed (bad shape, bad weights, ...)."""
+
+
+class NegativeCycleError(GraphError):
+    """Raised when an APSP computation detects a negative-weight cycle.
+
+    The paper's APSP reduction (Proposition 3) assumes the input digraph has
+    no negative cycle; distances are undefined otherwise.
+    """
+
+
+class NetworkError(ReproError):
+    """Raised on misuse of the CONGEST-CLIQUE simulator."""
+
+
+class BandwidthExceededError(NetworkError):
+    """Raised when a single message exceeds the per-link per-round budget
+    and cannot be fragmented (should not happen with the library's own
+    algorithms; guards against user-written node programs)."""
+
+
+class ProtocolAbortedError(ReproError):
+    """Raised when a randomized protocol aborts, as the paper's algorithms
+    do on low-probability bad events (e.g. an unbalanced ``Λx(u,v)`` in
+    Algorithm ComputePairs, or an oversized ``Λ(u)`` in IdentifyClass).
+
+    Callers are expected to retry with fresh randomness; the top-level
+    solvers do this automatically a bounded number of times.
+    """
+
+    def __init__(self, stage: str, detail: str = "") -> None:
+        self.stage = stage
+        self.detail = detail
+        message = f"protocol aborted at stage {stage!r}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class PromiseViolationError(ReproError):
+    """Raised when an input violates a problem promise and strict checking
+    is enabled (e.g. ``Γ(u,v)`` above the FindEdgesWithPromise bound)."""
+
+
+class QuantumSimulationError(ReproError):
+    """Raised on misuse of the quantum substrate (bad marked sets, zero-size
+    search spaces, dimension overflow in the state-vector simulator, ...)."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative procedure (binary search of Proposition 2,
+    retry loops around randomized protocols) exhausts its iteration budget
+    without reaching its goal."""

@@ -1,0 +1,33 @@
+"""Graph substrate: weighted digraphs, undirected weighted graphs,
+generators, and reference (centralized) negative-triangle enumeration."""
+
+from repro.graphs.digraph import INF, UndirectedWeightedGraph, WeightedDigraph
+from repro.graphs.generators import (
+    planted_negative_triangle_graph,
+    random_digraph,
+    random_undirected_graph,
+    tripartite_from_matrices,
+)
+from repro.graphs.triangles import (
+    negative_triangle_counts,
+    negative_triangle_edges,
+    negative_triangles,
+    witnessed_negative_pair_counts,
+)
+from repro.graphs.workloads import WORKLOADS, make_workload
+
+__all__ = [
+    "INF",
+    "WeightedDigraph",
+    "UndirectedWeightedGraph",
+    "random_digraph",
+    "random_undirected_graph",
+    "planted_negative_triangle_graph",
+    "tripartite_from_matrices",
+    "negative_triangle_counts",
+    "negative_triangle_edges",
+    "negative_triangles",
+    "witnessed_negative_pair_counts",
+    "WORKLOADS",
+    "make_workload",
+]

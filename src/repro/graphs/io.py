@@ -1,0 +1,128 @@
+"""Graph serialization: npz archives, edge-list text, networkx adapters.
+
+Formats
+-------
+* **npz** — the weight matrix plus a directedness flag; lossless and fast.
+  The canonical interchange format for the CLI and for caching experiment
+  workloads.
+* **edge list** — whitespace-separated ``src dst weight`` lines with ``#``
+  comments and a header line ``# repro-graph <directed|undirected> <n>``;
+  human-editable, diff-friendly.
+* **networkx** — adapters in both directions for interop with the wider
+  ecosystem (``networkx`` is an optional dependency; the adapters import it
+  lazily).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.digraph import INF, UndirectedWeightedGraph, WeightedDigraph
+
+AnyGraph = Union[WeightedDigraph, UndirectedWeightedGraph]
+PathLike = Union[str, pathlib.Path]
+
+
+def save_npz(graph: AnyGraph, path: PathLike) -> None:
+    """Write a graph to an ``.npz`` archive."""
+    directed = isinstance(graph, WeightedDigraph)
+    np.savez_compressed(
+        path, weights=graph.weights, directed=np.array(directed)
+    )
+
+
+def load_npz(path: PathLike) -> AnyGraph:
+    """Read a graph written by :func:`save_npz`."""
+    with np.load(path) as data:
+        try:
+            weights = data["weights"]
+            directed = bool(data["directed"])
+        except KeyError as error:
+            raise GraphError(f"{path}: not a repro graph archive") from error
+    if directed:
+        return WeightedDigraph(weights)
+    return UndirectedWeightedGraph(weights)
+
+
+def save_edge_list(graph: AnyGraph, path: PathLike) -> None:
+    """Write a graph as a ``src dst weight`` text file."""
+    directed = isinstance(graph, WeightedDigraph)
+    kind = "directed" if directed else "undirected"
+    lines = [f"# repro-graph {kind} {graph.num_vertices}"]
+    if directed:
+        edge_iter = graph.edges()
+    else:
+        edge_iter = (
+            (u, v, graph.weight(u, v)) for u, v in graph.edge_pairs()
+        )
+    for src, dst, weight in edge_iter:
+        lines.append(f"{src} {dst} {int(weight)}")
+    pathlib.Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_edge_list(path: PathLike) -> AnyGraph:
+    """Read a graph written by :func:`save_edge_list`."""
+    text = pathlib.Path(path).read_text()
+    header: tuple[str, int] | None = None
+    edges: list[tuple[int, int, float]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            tokens = line[1:].split()
+            if tokens[:1] == ["repro-graph"]:
+                if len(tokens) != 3 or tokens[1] not in ("directed", "undirected"):
+                    raise GraphError(f"{path}:{lineno}: malformed header")
+                header = (tokens[1], int(tokens[2]))
+            continue
+        tokens = line.split()
+        if len(tokens) != 3:
+            raise GraphError(f"{path}:{lineno}: expected 'src dst weight'")
+        edges.append((int(tokens[0]), int(tokens[1]), float(tokens[2])))
+    if header is None:
+        raise GraphError(f"{path}: missing '# repro-graph <kind> <n>' header")
+    kind, n = header
+    if kind == "directed":
+        return WeightedDigraph.from_edges(n, edges)
+    return UndirectedWeightedGraph.from_edges(n, edges)
+
+
+def to_networkx(graph: AnyGraph):
+    """Convert to a ``networkx`` (Di)Graph with ``weight`` attributes."""
+    import networkx as nx
+
+    if isinstance(graph, WeightedDigraph):
+        out = nx.DiGraph()
+        out.add_nodes_from(range(graph.num_vertices))
+        for src, dst, weight in graph.edges():
+            out.add_edge(src, dst, weight=weight)
+        return out
+    out = nx.Graph()
+    out.add_nodes_from(range(graph.num_vertices))
+    for u, v in graph.edge_pairs():
+        out.add_edge(u, v, weight=graph.weight(u, v))
+    return out
+
+
+def from_networkx(nx_graph) -> AnyGraph:
+    """Convert a ``networkx`` graph (nodes must be ``0..n−1``)."""
+    import networkx as nx
+
+    n = nx_graph.number_of_nodes()
+    if set(nx_graph.nodes) != set(range(n)):
+        raise GraphError("networkx nodes must be labeled 0..n-1")
+    matrix = np.full((n, n), INF)
+    directed = nx_graph.is_directed()
+    for u, v, data in nx_graph.edges(data=True):
+        weight = float(data.get("weight", 1.0))
+        matrix[u, v] = weight
+        if not directed:
+            matrix[v, u] = weight
+    if directed:
+        return WeightedDigraph(matrix)
+    return UndirectedWeightedGraph(matrix)

@@ -1,0 +1,134 @@
+"""Named workload families for experiments.
+
+The paper's analysis is worst-case; its randomized machinery (the `Λx`
+covering, IdentifyClass, the typicality truncation) reacts differently to
+differently *shaped* inputs.  This module names the shapes the benchmarks
+sweep, so experiments can say "clustered, n=256" instead of inlining
+generator calls:
+
+=================  ============================================================
+name               shape
+=================  ============================================================
+``uniform``        i.i.d. edges and weights — the default random instance
+``sparse``         low edge density — few triangles, small classes
+``dense_negative`` all-negative dense weights — *every* triple is a negative
+                   triangle, the maximum-congestion regime for Step 3
+``clustered``      negative triangles concentrated inside a few vertex
+                   clusters — stresses IdentifyClass (heavy `Tα` triples)
+``hub``            one high-degree hub vertex in most triangles — stresses
+                   the well-balancedness cap and the typicality machinery
+``bipartite_like`` negative triangles absent by construction (weights too
+                   positive across a cut) — the all-zero output regime
+=================  ============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.digraph import INF, UndirectedWeightedGraph
+from repro.graphs.generators import random_undirected_graph
+from repro.util.rng import RngLike, ensure_rng
+
+WorkloadFn = Callable[[int, "np.random.Generator"], UndirectedWeightedGraph]
+
+
+def uniform(num_vertices: int, rng: RngLike = None) -> UndirectedWeightedGraph:
+    """I.i.d. edges (p = 0.5) and weights in ``[-8, 8]``."""
+    return random_undirected_graph(
+        num_vertices, density=0.5, max_weight=8, rng=ensure_rng(rng)
+    )
+
+
+def sparse(num_vertices: int, rng: RngLike = None) -> UndirectedWeightedGraph:
+    """Low density (p = 0.1): few triangles of any sign."""
+    return random_undirected_graph(
+        num_vertices, density=0.1, max_weight=8, rng=ensure_rng(rng)
+    )
+
+
+def dense_negative(num_vertices: int, rng: RngLike = None) -> UndirectedWeightedGraph:
+    """Complete graph, all weights in ``[-4, -1]``: every triple is a
+    negative triangle and every pair is in ``Θ(n)`` of them — the extreme
+    the promise machinery (Prop. 1) exists for."""
+    generator = ensure_rng(rng)
+    n = num_vertices
+    weights = generator.integers(-4, 0, size=(n, n)).astype(np.float64)
+    weights = np.triu(weights, k=1)
+    weights = weights + weights.T
+    np.fill_diagonal(weights, INF)
+    return UndirectedWeightedGraph(weights)
+
+
+def clustered(num_vertices: int, rng: RngLike = None) -> UndirectedWeightedGraph:
+    """Three dense clusters with strongly negative internal weights and
+    positive cross edges: triangles pile up inside clusters, giving a few
+    block triples very large ``|Δ(u, v; w)|`` (high `Tα` classes)."""
+    generator = ensure_rng(rng)
+    n = num_vertices
+    if n < 6:
+        raise GraphError("clustered workload needs at least 6 vertices")
+    membership = generator.integers(0, 3, size=n)
+    weights = generator.integers(4, 9, size=(n, n)).astype(np.float64)
+    same = membership[:, None] == membership[None, :]
+    negative = generator.integers(-6, -2, size=(n, n)).astype(np.float64)
+    weights = np.where(same, negative, weights)
+    weights = np.triu(weights, k=1)
+    weights = weights + weights.T
+    mask = np.triu(generator.random((n, n)) < 0.7, k=1)
+    mask = mask | mask.T
+    weights = np.where(mask, weights, INF)
+    np.fill_diagonal(weights, INF)
+    return UndirectedWeightedGraph(weights)
+
+
+def hub(num_vertices: int, rng: RngLike = None) -> UndirectedWeightedGraph:
+    """Vertex 0 is a hub: its edges are strongly negative, everything else
+    mildly positive — most negative triangles share the hub, concentrating
+    solution load on the hub's blocks (the Lemma 3 / typicality stress)."""
+    generator = ensure_rng(rng)
+    n = num_vertices
+    if n < 3:
+        raise GraphError("hub workload needs at least 3 vertices")
+    weights = generator.integers(1, 4, size=(n, n)).astype(np.float64)
+    weights = np.triu(weights, k=1)
+    weights = weights + weights.T
+    hub_weights = generator.integers(-8, -4, size=n).astype(np.float64)
+    weights[0, :] = hub_weights
+    weights[:, 0] = hub_weights
+    np.fill_diagonal(weights, INF)
+    return UndirectedWeightedGraph(weights)
+
+
+def bipartite_like(num_vertices: int, rng: RngLike = None) -> UndirectedWeightedGraph:
+    """Dense graph with uniformly positive weights: zero negative
+    triangles; the correct FindEdges output is empty."""
+    generator = ensure_rng(rng)
+    return random_undirected_graph(
+        num_vertices, density=0.8, max_weight=8, allow_negative=False, rng=generator
+    )
+
+
+#: Registry used by the robustness bench (E13) and the CLI.
+WORKLOADS: dict[str, WorkloadFn] = {
+    "uniform": uniform,
+    "sparse": sparse,
+    "dense_negative": dense_negative,
+    "clustered": clustered,
+    "hub": hub,
+    "bipartite_like": bipartite_like,
+}
+
+
+def make_workload(name: str, num_vertices: int, rng: RngLike = None) -> UndirectedWeightedGraph:
+    """Instantiate a named workload."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise GraphError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+    return factory(num_vertices, rng)

@@ -1,0 +1,69 @@
+"""APSP from distance products (Proposition 3) and centralized references.
+
+The reduction: encode the digraph as the matrix ``A_G`` (zero diagonal,
+``w(i, j)`` on edges, ``+∞`` otherwise); then ``A_G^n`` under the distance
+product holds all pairwise distances, and ``O(log n)`` squarings compute it.
+``apsp_via_product`` runs this schedule with *any* product implementation —
+the centralized numpy one here, or the distributed/quantum one from
+:mod:`repro.core.reductions` — so the identical driver is used by ground
+truth, classical baseline and quantum solver.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import NegativeCycleError
+from repro.graphs.digraph import WeightedDigraph
+from repro.matrix.semiring import distance_product
+
+ProductFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def detect_negative_cycle(distance_matrix: np.ndarray) -> bool:
+    """True iff a (claimed) distance closure certifies a negative cycle,
+    i.e. some diagonal entry went negative."""
+    return bool((np.diag(distance_matrix) < 0).any())
+
+
+def apsp_via_product(
+    graph: WeightedDigraph,
+    product: ProductFn = distance_product,
+    *,
+    check_negative_cycle: bool = True,
+) -> np.ndarray:
+    """All-pairs distances by ``⌈log2 n⌉`` squarings of ``A_G``.
+
+    ``product`` is called ``⌈log2(n)⌉`` times with equal operands; plugging
+    in a distributed implementation yields Proposition 3's round bound
+    ``O(T(n, nW) · log n)``.
+    """
+    matrix = graph.apsp_matrix()
+    n = graph.num_vertices
+    if n <= 1:
+        return matrix
+    steps = int(np.ceil(np.log2(n)))
+    for _ in range(max(1, steps)):
+        matrix = product(matrix, matrix)
+    if check_negative_cycle and detect_negative_cycle(matrix):
+        raise NegativeCycleError("input graph contains a negative cycle")
+    return matrix
+
+
+def apsp_distances(graph: WeightedDigraph) -> np.ndarray:
+    """Centralized ground-truth APSP (numpy Floyd–Warshall).
+
+    ``O(n³)``; raises :class:`NegativeCycleError` on negative cycles.  This
+    is the oracle every distributed solver is verified against.
+    """
+    dist = graph.apsp_matrix()
+    n = graph.num_vertices
+    for k in range(n):
+        # Relax all pairs through intermediate vertex k at once.
+        through = dist[:, k][:, None] + dist[k, :][None, :]
+        np.minimum(dist, through, out=dist)
+    if detect_negative_cycle(dist):
+        raise NegativeCycleError("input graph contains a negative cycle")
+    return dist

@@ -1,0 +1,46 @@
+"""Quantum substrate.
+
+Built from scratch (no qiskit/cirq available in this environment):
+
+* :mod:`repro.quantum.statevector` — a dense state-vector simulator with the
+  gates needed for Grover's algorithm; exact but exponential in qubits.
+* :mod:`repro.quantum.grover` — circuit-level Grover search on the simulator.
+* :mod:`repro.quantum.amplitude` — exact amplitude tracking of Grover in the
+  2-D invariant subspace ``span{|ψ0⟩, |ψ1⟩}``; scales to any search-space
+  size and is cross-validated against the circuit simulator in tests.
+* :mod:`repro.quantum.distributed` — the Le Gall–Magniez distributed search
+  framework: Grover driven by a distributed evaluation procedure, with
+  round-cost charging (``O(r·√|X|)``) and BBHT-style handling of unknown
+  solution counts.
+* :mod:`repro.quantum.multisearch` — Section 4's *multiple searches using
+  only typical inputs* (Theorem 3), with the ``Υβ(m, X)`` typicality
+  machinery and Lemma 5's fidelity bound.
+"""
+
+from repro.quantum.amplitude import GroverAmplitudeTracker, optimal_iterations
+from repro.quantum.distributed import DistributedQuantumSearch, SearchOutcome
+from repro.quantum.grover import GroverCircuit
+from repro.quantum.multisearch import (
+    MultiSearch,
+    MultiSearchReport,
+    TypicalityReport,
+    lemma5_truncated_mass_bound,
+    theorem3_fidelity_bound,
+    uniform_atypical_mass,
+)
+from repro.quantum.statevector import StateVector
+
+__all__ = [
+    "StateVector",
+    "GroverCircuit",
+    "GroverAmplitudeTracker",
+    "optimal_iterations",
+    "DistributedQuantumSearch",
+    "SearchOutcome",
+    "MultiSearch",
+    "MultiSearchReport",
+    "TypicalityReport",
+    "lemma5_truncated_mass_bound",
+    "theorem3_fidelity_bound",
+    "uniform_atypical_mass",
+]

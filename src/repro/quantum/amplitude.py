@@ -1,0 +1,101 @@
+"""Exact amplitude tracking of Grover's algorithm.
+
+Grover's iteration leaves the two-dimensional subspace
+``H = span{|ψ0⟩, |ψ1⟩}`` invariant (Section 4.1 of the paper): writing
+``θ = arcsin(√(t/N))`` for ``t`` solutions among ``N`` items, the state
+after ``k`` iterations is
+
+    ``|Φ_k⟩ = cos((2k+1)θ)·|ψ0⟩ + sin((2k+1)θ)·|ψ1⟩``
+
+so the success probability is exactly ``sin²((2k+1)θ)``.  Tracking ``(α_k,
+β_k)`` instead of the full ``N``-dimensional state makes simulation of the
+distributed searches scale to any ``N``; the circuit-level simulator
+(:mod:`repro.quantum.grover`) validates this closed form in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import QuantumSimulationError
+from repro.util.mathutil import sin_squared_grover
+from repro.util.rng import RngLike, ensure_rng
+
+
+def optimal_iterations(num_items: int, num_solutions: int = 1) -> int:
+    """The canonical iteration count ``⌊(π/4)·√(N/t)⌋`` (at least 1).
+
+    Drives ``sin²((2k+1)θ)`` close to 1 when ``t ≪ N``.
+    """
+    if num_items < 1:
+        raise QuantumSimulationError("num_items must be positive")
+    if num_solutions < 1:
+        raise QuantumSimulationError("optimal_iterations requires >= 1 solution")
+    ratio = num_items / num_solutions
+    return max(1, int(math.floor((math.pi / 4.0) * math.sqrt(ratio))))
+
+
+def max_iterations(num_items: int) -> int:
+    """Upper end of the BBHT iteration range: ``⌈(π/4)·√N⌉``."""
+    return max(1, int(math.ceil((math.pi / 4.0) * math.sqrt(num_items))))
+
+
+class GroverAmplitudeTracker:
+    """Closed-form Grover evolution for one search.
+
+    Parameters
+    ----------
+    num_items:
+        Search-space size ``N ≥ 1`` (any integer; no power-of-two
+        restriction).
+    num_solutions:
+        Number of marked items ``t`` with ``0 ≤ t ≤ N``.
+    """
+
+    def __init__(self, num_items: int, num_solutions: int) -> None:
+        if num_items < 1:
+            raise QuantumSimulationError("num_items must be positive")
+        if not 0 <= num_solutions <= num_items:
+            raise QuantumSimulationError(
+                f"num_solutions must lie in [0, {num_items}], got {num_solutions}"
+            )
+        self.num_items = num_items
+        self.num_solutions = num_solutions
+
+    def success_probability(self, iterations: int) -> float:
+        """Exact probability of measuring a solution after ``iterations``."""
+        return sin_squared_grover(self.num_items, self.num_solutions, iterations)
+
+    def state_components(self, iterations: int) -> tuple[float, float]:
+        """The pair ``(α_k, β_k)`` with ``|Φ_k⟩ = α_k|ψ0⟩ + β_k|ψ1⟩``."""
+        if self.num_solutions == 0:
+            return (1.0, 0.0)
+        if self.num_solutions == self.num_items:
+            return (0.0, 1.0)
+        theta = math.asin(math.sqrt(self.num_solutions / self.num_items))
+        angle = (2 * iterations + 1) * theta
+        return (math.cos(angle), math.sin(angle))
+
+    def measure_is_solution(self, iterations: int, rng: RngLike = None) -> bool:
+        """Sample whether the measurement lands in the solution set."""
+        generator = ensure_rng(rng)
+        return bool(generator.random() < self.success_probability(iterations))
+
+
+def batch_success_probability(
+    num_items: int, solution_counts: np.ndarray, iterations: int
+) -> np.ndarray:
+    """Vectorized ``sin²((2k+1)·arcsin(√(t/N)))`` over an array of ``t``.
+
+    The multi-search simulator uses this to evolve all ``m`` parallel
+    searches of a node at once.
+    """
+    counts = np.asarray(solution_counts, dtype=np.float64)
+    if num_items < 1:
+        raise QuantumSimulationError("num_items must be positive")
+    if counts.size and (counts.min() < 0 or counts.max() > num_items):
+        raise QuantumSimulationError("solution count out of range")
+    theta = np.arcsin(np.sqrt(counts / num_items))
+    return np.sin((2 * iterations + 1) * theta) ** 2

@@ -1,0 +1,72 @@
+"""Circuit-level Grover search on the state-vector simulator.
+
+Used as the exactness reference for the scalable amplitude tracker and by
+experiment E5.  The search space must have power-of-two size here (so the
+uniform superposition is exactly ``H^{⊗q}|0⟩``); the amplitude tracker in
+:mod:`repro.quantum.amplitude` handles arbitrary sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import QuantumSimulationError
+from repro.quantum.statevector import StateVector
+from repro.util.mathutil import is_power_of_two
+from repro.util.rng import RngLike, ensure_rng
+
+
+class GroverCircuit:
+    """Grover's algorithm over ``{0, ..., num_items − 1}`` with a marked set.
+
+    Parameters
+    ----------
+    num_items:
+        Search-space size; must be a power of two (``2^q``, simulated on
+        ``q`` qubits).
+    marked:
+        The solution set ``A¹ = {x : g(x) = 1}`` as basis-state indices.
+    """
+
+    def __init__(self, num_items: int, marked: Sequence[int]) -> None:
+        if num_items < 2:
+            raise QuantumSimulationError("search space must have at least 2 items")
+        if not is_power_of_two(num_items):
+            raise QuantumSimulationError(
+                f"circuit-level Grover requires power-of-two size, got {num_items} "
+                "(use GroverAmplitudeTracker for general sizes)"
+            )
+        marked_arr = np.unique(np.asarray(list(marked), dtype=np.int64))
+        if marked_arr.size and (marked_arr.min() < 0 or marked_arr.max() >= num_items):
+            raise QuantumSimulationError("marked element out of range")
+        self.num_items = num_items
+        self.num_qubits = num_items.bit_length() - 1
+        self.marked = marked_arr
+
+    def run(self, iterations: int) -> StateVector:
+        """Execute ``iterations`` Grover iterations and return the final state.
+
+        One iteration is the oracle phase flip followed by the diffusion
+        operator; the initial state is the uniform superposition.
+        """
+        if iterations < 0:
+            raise QuantumSimulationError("iterations must be non-negative")
+        state = StateVector(self.num_qubits).h_all()
+        for _ in range(iterations):
+            state.phase_flip(self.marked)
+            state.diffusion()
+        return state
+
+    def success_probability(self, iterations: int) -> float:
+        """Probability that measuring after ``iterations`` yields a marked item."""
+        if self.marked.size == 0:
+            return 0.0
+        state = self.run(iterations)
+        return state.probability_of(self.marked)
+
+    def sample(self, iterations: int, rng: RngLike = None) -> int:
+        """Run and measure once."""
+        generator = ensure_rng(rng)
+        return self.run(iterations).measure(generator)

@@ -1,0 +1,146 @@
+"""A minimal dense state-vector quantum simulator.
+
+Supports exactly the operations Grover's algorithm needs — Hadamard/X/Z
+single-qubit gates, a multi-controlled Z, phase-flip oracles given by marked
+basis states, and computational-basis measurement.  Amplitudes are a
+``numpy`` complex vector of length ``2^q``; gates are applied by reshaping,
+which keeps every operation ``O(2^q)`` without materializing gate matrices.
+
+This simulator exists to *validate* the scalable amplitude tracker
+(:mod:`repro.quantum.amplitude`): Grover's dynamics have a closed form, and
+tests assert the two agree to numerical precision.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import QuantumSimulationError
+from repro.util.rng import RngLike, ensure_rng
+
+#: Refuse to allocate state vectors beyond this many qubits (2^22 complex
+#: doubles = 64 MiB); the amplitude tracker covers larger search spaces.
+MAX_QUBITS = 22
+
+_H_FACTOR = 1.0 / math.sqrt(2.0)
+
+
+class StateVector:
+    """The state of ``num_qubits`` qubits, initialized to ``|0...0⟩``.
+
+    Qubit 0 is the least significant bit of the basis-state index.
+    """
+
+    def __init__(self, num_qubits: int) -> None:
+        if num_qubits < 1:
+            raise QuantumSimulationError("need at least one qubit")
+        if num_qubits > MAX_QUBITS:
+            raise QuantumSimulationError(
+                f"{num_qubits} qubits exceeds the simulator cap of {MAX_QUBITS}"
+            )
+        self.num_qubits = num_qubits
+        self.amplitudes = np.zeros(1 << num_qubits, dtype=np.complex128)
+        self.amplitudes[0] = 1.0
+
+    # -- internal -----------------------------------------------------------
+
+    def _axes_view(self, qubit: int) -> np.ndarray:
+        """View of the amplitude vector with the target qubit as axis 1 of a
+        ``(high, 2, low)`` reshape."""
+        if not 0 <= qubit < self.num_qubits:
+            raise QuantumSimulationError(
+                f"qubit {qubit} out of range for {self.num_qubits} qubits"
+            )
+        low = 1 << qubit
+        high = 1 << (self.num_qubits - qubit - 1)
+        return self.amplitudes.reshape(high, 2, low)
+
+    # -- gates ---------------------------------------------------------------
+
+    def h(self, qubit: int) -> "StateVector":
+        """Hadamard on one qubit."""
+        view = self._axes_view(qubit)
+        zero = view[:, 0, :].copy()
+        one = view[:, 1, :].copy()
+        view[:, 0, :] = _H_FACTOR * (zero + one)
+        view[:, 1, :] = _H_FACTOR * (zero - one)
+        return self
+
+    def x(self, qubit: int) -> "StateVector":
+        """Pauli X (bit flip) on one qubit."""
+        view = self._axes_view(qubit)
+        view[:, [0, 1], :] = view[:, [1, 0], :]
+        return self
+
+    def z(self, qubit: int) -> "StateVector":
+        """Pauli Z (phase flip of ``|1⟩``) on one qubit."""
+        view = self._axes_view(qubit)
+        view[:, 1, :] *= -1.0
+        return self
+
+    def h_all(self) -> "StateVector":
+        """Hadamard on every qubit."""
+        for qubit in range(self.num_qubits):
+            self.h(qubit)
+        return self
+
+    def x_all(self) -> "StateVector":
+        """Pauli X on every qubit."""
+        for qubit in range(self.num_qubits):
+            self.x(qubit)
+        return self
+
+    def mcz(self) -> "StateVector":
+        """Multi-controlled Z across all qubits: flips the phase of
+        ``|1...1⟩`` only."""
+        self.amplitudes[-1] *= -1.0
+        return self
+
+    def phase_flip(self, basis_states: Iterable[int]) -> "StateVector":
+        """Oracle: flip the phase of the given computational basis states."""
+        indices = np.fromiter(basis_states, dtype=np.int64)
+        if indices.size == 0:
+            return self
+        if indices.min() < 0 or indices.max() >= self.amplitudes.size:
+            raise QuantumSimulationError("oracle basis state out of range")
+        self.amplitudes[indices] *= -1.0
+        return self
+
+    def diffusion(self) -> "StateVector":
+        """Grover's diffusion operator ``2|s⟩⟨s| − I`` (inversion about the
+        uniform superposition), as the textbook circuit
+        ``H⊗q · X⊗q · MCZ · X⊗q · H⊗q``, up to global phase."""
+        self.h_all()
+        self.x_all()
+        self.mcz()
+        self.x_all()
+        self.h_all()
+        return self
+
+    # -- read-out -------------------------------------------------------------
+
+    def probabilities(self) -> np.ndarray:
+        """Probability of each computational basis state."""
+        return np.abs(self.amplitudes) ** 2
+
+    def probability_of(self, basis_states: Sequence[int]) -> float:
+        """Total probability mass on the given basis states."""
+        probs = self.probabilities()
+        return float(probs[np.asarray(basis_states, dtype=np.int64)].sum())
+
+    def measure(self, rng: RngLike = None) -> int:
+        """Sample a computational-basis outcome (the state is *not*
+        collapsed; Grover runs here always measure exactly once at the end)."""
+        generator = ensure_rng(rng)
+        probs = self.probabilities()
+        probs = probs / probs.sum()
+        return int(generator.choice(probs.size, p=probs))
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self.amplitudes))
+
+    def __repr__(self) -> str:
+        return f"StateVector(qubits={self.num_qubits})"

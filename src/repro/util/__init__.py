@@ -1,0 +1,22 @@
+"""Small shared utilities: RNG handling, math helpers, formatting."""
+
+from repro.util.rng import ensure_rng, spawn_rng
+from repro.util.mathutil import (
+    ceil_div,
+    ceil_log2,
+    guarded_log,
+    is_power_of_two,
+    next_power_of_two,
+    sin_squared_grover,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "ceil_div",
+    "ceil_log2",
+    "guarded_log",
+    "is_power_of_two",
+    "next_power_of_two",
+    "sin_squared_grover",
+]

@@ -1,0 +1,42 @@
+"""Random-number-generator plumbing.
+
+Every randomized component in the library accepts a ``rng`` argument that may
+be ``None`` (fresh entropy), an integer seed, or an existing
+:class:`numpy.random.Generator`.  Using a single convention everywhere makes
+experiments reproducible end to end: the benchmark harness seeds one
+generator and threads it through the whole stack.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    ``None`` creates a generator from OS entropy; an ``int`` seeds a new
+    generator deterministically; an existing generator is returned as-is.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"cannot build a Generator from {type(rng).__name__}")
+
+
+def spawn_rng(rng: np.random.Generator) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Used when a protocol needs per-node randomness that must not perturb the
+    parent stream's sequence (so adding a node does not reshuffle every other
+    node's choices).
+    """
+    seed = int(rng.integers(0, 2**63 - 1))
+    return np.random.default_rng(seed)

@@ -1,0 +1,50 @@
+"""Shared fixtures.
+
+Every randomized test takes an explicit seed; fixtures provide graphs and
+constants bundles sized so the interesting machinery engages while suites
+stay fast.  ``TEST_CONSTANTS`` (scale 0.5) keeps the paper's constant ratios
+but lets thresholds bite at ``n`` in the tens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.constants import PaperConstants
+
+#: Constants used by most protocol tests: large enough scale that Λx covers
+#: every pair w.h.p. at n=16..36, small enough that classes beyond T0 occur.
+TEST_CONSTANTS = PaperConstants(scale=0.5)
+
+#: A lighter bundle for the larger (n ≥ 64) protocol tests.
+LIGHT_CONSTANTS = PaperConstants(scale=0.15)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_undirected():
+    """A 16-vertex undirected weighted graph with many negative triangles."""
+    return repro.random_undirected_graph(16, density=0.6, max_weight=8, rng=3)
+
+
+@pytest.fixture
+def small_digraph():
+    """An 8-vertex digraph with negative edges but no negative cycle."""
+    return repro.random_digraph_no_negative_cycle(
+        8, density=0.5, max_weight=6, rng=4
+    )
+
+
+@pytest.fixture
+def planted_graph():
+    """A 20-vertex graph with 6 planted negative-triangle pairs."""
+    graph, planted = repro.planted_negative_triangle_graph(
+        20, num_planted=6, triangles_per_pair=2, rng=11
+    )
+    return graph, planted

@@ -1,0 +1,106 @@
+"""Tests for the analytic round model, exponent fitting, and reporting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.complexity import RoundModel, fit_exponent
+from repro.analysis.report import format_table
+
+
+class TestFitExponent:
+    def test_recovers_exact_power_law(self):
+        sizes = [16, 64, 256, 1024]
+        values = [3.0 * n ** 0.25 for n in sizes]
+        exponent, coeff, r2 = fit_exponent(sizes, values)
+        assert exponent == pytest.approx(0.25, abs=1e-9)
+        assert coeff == pytest.approx(3.0, rel=1e-9)
+        assert r2 == pytest.approx(1.0)
+
+    def test_noisy_fit_close(self):
+        rng = np.random.default_rng(0)
+        sizes = [2 ** k for k in range(4, 14)]
+        values = [5.0 * n ** (1 / 3) * rng.uniform(0.9, 1.1) for n in sizes]
+        exponent, _, r2 = fit_exponent(sizes, values)
+        assert abs(exponent - 1 / 3) < 0.05
+        assert r2 > 0.98
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            fit_exponent([4], [2.0])
+
+
+class TestRoundModel:
+    def test_leading_terms_cross_at_finite_n(self):
+        model = RoundModel()
+        crossover = model.leading_crossover_n()
+        assert math.isfinite(crossover)
+        n = max(16, int(crossover * 4))
+        assert model.quantum_apsp_leading(n) < model.classical_apsp_leading(n)
+
+    def test_full_model_crossover_is_log_dominated(self):
+        # With every polylog kept, the quantum side's ~log⁴ extra factors
+        # push the constant-explicit crossover beyond any physical n — the
+        # honest reading of the paper's Õ(·) that E9 reports.
+        model = RoundModel()
+        assert model.crossover_n(limit=2.0 ** 50) == math.inf
+
+    def test_classical_wins_at_small_n(self):
+        model = RoundModel()
+        assert model.quantum_apsp_rounds(64, 4) > model.classical_apsp_rounds(64, 4)
+
+    def test_compute_pairs_exponent_is_quarter_plus_polylog(self):
+        model = RoundModel()
+        sizes = [2 ** k for k in range(20, 40, 2)]
+        values = [model.compute_pairs_rounds(n) for n in sizes]
+        exponent, _, _ = fit_exponent(sizes, values)
+        # The polylog factors inflate the local slope above 1/4 but it must
+        # stay clearly below the classical 1/3 + its own slack.
+        assert 0.25 <= exponent < 0.5
+        leading = [model.quantum_apsp_leading(n) for n in sizes]
+        lead_exp, _, _ = fit_exponent(sizes, leading)
+        assert lead_exp == pytest.approx(0.25, abs=1e-9)
+
+    def test_dolev_exponent_is_third(self):
+        model = RoundModel()
+        sizes = [2 ** k for k in range(20, 40, 2)]
+        values = [model.dolev_find_edges_rounds(n) for n in sizes]
+        exponent, _, _ = fit_exponent(sizes, values)
+        assert exponent == pytest.approx(1 / 3, abs=1e-6)
+
+    def test_step3_search_crossover(self):
+        # Grover's √|X| advantage inside Step 3 beats the linear scan once
+        # n is moderately large (n^{1/4}·log n vs √n).
+        model = RoundModel()
+        assert model.grover_step3_rounds(2 ** 40) < model.linear_step3_rounds(2 ** 40)
+
+    def test_loop_iterations_monotone(self):
+        model = RoundModel()
+        assert model.find_edges_loop_iterations(2 ** 10) <= model.find_edges_loop_iterations(2 ** 20)
+
+    def test_log_w_factor(self):
+        model = RoundModel()
+        small_w = model.quantum_apsp_rounds(2 ** 16, 2)
+        large_w = model.quantum_apsp_rounds(2 ** 16, 2 ** 20)
+        assert large_w > small_w
+        assert large_w / small_w < 10  # only a log factor apart
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        table = format_table(
+            ["n", "rounds"], [[16, 12.5], [256, 1.5e7]], title="demo"
+        )
+        assert "demo" in table
+        assert "n" in table and "rounds" in table
+        assert "12.5" in table
+        assert "1.500e+07" in table
+
+    def test_bool_cells(self):
+        table = format_table(["ok"], [[True], [False]])
+        assert "yes" in table and "no" in table
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table

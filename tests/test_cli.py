@@ -1,0 +1,131 @@
+"""Tests for the command-line interface (direct main() calls + one
+subprocess smoke test for the ``python -m repro`` entry point)."""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cli import main
+from repro.graphs import io as graph_io
+
+
+class TestApspCommand:
+    def test_generated_instance(self, capsys):
+        code = main(["apsp", "--n", "8", "--seed", "3", "--backend", "dolev"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "exact=True" in out
+
+    def test_quantum_backend(self, capsys):
+        code = main(
+            ["apsp", "--n", "6", "--seed", "1", "--backend", "quantum", "--scale", "0.5"]
+        )
+        assert code == 0
+        assert "exact=True" in capsys.readouterr().out
+
+    def test_graph_file_and_distances_out(self, tmp_path, capsys):
+        graph = repro.random_digraph_no_negative_cycle(7, density=0.5, rng=2)
+        graph_path = tmp_path / "g.npz"
+        graph_io.save_npz(graph, graph_path)
+        out_path = tmp_path / "dist.npz"
+        code = main(
+            [
+                "apsp",
+                "--graph",
+                str(graph_path),
+                "--backend",
+                "reference",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        with np.load(out_path) as data:
+            assert np.array_equal(data["distances"], repro.floyd_warshall(graph))
+
+    def test_verbose_prints_ledger(self, capsys):
+        code = main(
+            ["apsp", "--n", "6", "--seed", "1", "--backend", "dolev", "--verbose"]
+        )
+        assert code == 0
+        assert "TOTAL" in capsys.readouterr().out
+
+    def test_rejects_undirected_input(self, tmp_path):
+        graph = repro.random_undirected_graph(6, rng=1)
+        path = tmp_path / "g.npz"
+        graph_io.save_npz(graph, path)
+        with pytest.raises(SystemExit):
+            main(["apsp", "--graph", str(path)])
+
+
+class TestFindEdgesCommand:
+    def test_reference(self, capsys):
+        code = main(["find-edges", "--n", "12", "--seed", "2", "--backend", "reference"])
+        assert code == 0
+        assert "false_positives=0" in capsys.readouterr().out
+
+    def test_quantum(self, capsys):
+        code = main(
+            ["find-edges", "--n", "16", "--seed", "2", "--backend", "quantum",
+             "--scale", "0.5", "--verbose"]
+        )
+        assert code == 0
+
+
+class TestOtherCommands:
+    def test_diameter(self, capsys):
+        code = main(["diameter", "--n", "6", "--seed", "4"])
+        out = capsys.readouterr().out
+        assert "diameter=" in out
+
+    def test_generate_roundtrip(self, tmp_path, capsys):
+        out_path = tmp_path / "gen.txt"
+        code = main(
+            ["generate", "--kind", "undirected", "--n", "9", "--seed", "5",
+             "--out", str(out_path)]
+        )
+        assert code == 0
+        loaded = graph_io.load_edge_list(out_path)
+        assert loaded.num_vertices == 9
+
+    def test_generate_planted_prints_pairs(self, tmp_path, capsys):
+        out_path = tmp_path / "gen.npz"
+        code = main(
+            ["generate", "--kind", "planted", "--n", "10", "--seed", "5",
+             "--out", str(out_path)]
+        )
+        assert code == 0
+        assert "planted pairs" in capsys.readouterr().out
+
+    def test_validate_accepts_and_rejects(self, tmp_path, capsys):
+        graph = repro.random_digraph_no_negative_cycle(6, density=0.6, rng=3)
+        graph_path = tmp_path / "g.npz"
+        graph_io.save_npz(graph, graph_path)
+        truth = repro.floyd_warshall(graph)
+        good = tmp_path / "good.npz"
+        np.savez(good, distances=truth)
+        assert main(["validate", "--graph", str(graph_path), "--distances", str(good)]) == 0
+        bad_matrix = truth.copy()
+        bad_matrix[0, 0] = -3
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, distances=bad_matrix)
+        assert main(["validate", "--graph", str(graph_path), "--distances", str(bad)]) == 1
+
+    def test_model(self, capsys):
+        code = main(["model", "--min-exp", "4", "--max-exp", "12", "--step", "4"])
+        assert code == 0
+        assert "2^4" in capsys.readouterr().out
+
+
+def test_module_entry_point():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "model", "--min-exp", "4", "--max-exp", "8"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0
+    assert "analytic round model" in result.stdout

@@ -1,0 +1,115 @@
+"""Tests for the protocol tracer."""
+
+import pytest
+
+import repro
+from repro.congest.message import Message
+from repro.congest.network import CongestClique
+from repro.congest.trace import Tracer
+from repro.core.problems import FindEdgesInstance
+
+from tests.conftest import TEST_CONSTANTS
+
+
+class TestTracerMechanics:
+    def test_records_deliveries(self):
+        net = CongestClique(4, rng=0)
+        net.tracer = Tracer(4)
+        net.deliver([Message(0, 1, None, size_words=3), Message(2, 3, None)], "p1")
+        net.deliver([Message(1, 0, None, size_words=8)], "p2")
+        assert len(net.tracer) == 2
+        first = net.tracer.events[0]
+        assert first.phase == "p1"
+        assert first.kind == "deliver"
+        assert first.num_messages == 2
+        assert first.total_words == 4
+        assert first.rounds == 2.0
+
+    def test_records_broadcasts(self):
+        net = CongestClique(4, rng=0)
+        net.tracer = Tracer(4)
+        net.broadcast_all({0: ("x", 2), 1: ("y", 5)}, "bcast")
+        event = net.tracer.events[0]
+        assert event.kind == "broadcast"
+        assert event.rounds == 5.0
+        assert event.total_words == 7 * 4  # every node receives everything
+
+    def test_no_tracer_no_overhead(self):
+        net = CongestClique(4, rng=0)
+        assert net.tracer is None
+        net.deliver([Message(0, 1, None)], "p")  # must not crash
+
+    def test_phase_queries(self):
+        net = CongestClique(4, rng=0)
+        net.tracer = Tracer(4)
+        net.deliver([Message(0, 1, None, size_words=2)], "a")
+        net.deliver([Message(0, 1, None, size_words=2)], "a")
+        net.deliver([Message(0, 1, None, size_words=6)], "b")
+        tracer = net.tracer
+        assert tracer.phases() == ["a", "b"]
+        assert tracer.total_words("a") == 4
+        assert tracer.total_words() == 10
+        assert tracer.total_rounds("a") == 4.0
+        assert len(tracer.events_for("b")) == 1
+
+    def test_imbalance_hot_spot(self):
+        net = CongestClique(4, rng=0)
+        net.tracer = Tracer(4)
+        # All 8 words converge on node 1: balanced load would be 2.
+        net.deliver(
+            [Message(src, 1, None, size_words=2) for src in range(4)], "hot"
+        )
+        assert net.tracer.imbalance("hot") == pytest.approx(8 / 2)
+
+    def test_imbalance_empty_phase(self):
+        tracer = Tracer(4)
+        assert tracer.imbalance("nothing") == 1.0
+
+    def test_summary_renders(self):
+        net = CongestClique(4, rng=0)
+        net.tracer = Tracer(4)
+        net.deliver([Message(0, 1, None)], "phase_x")
+        text = net.tracer.summary()
+        assert "phase_x" in text
+        assert "rounds" in text
+
+
+class TestTracerOnRealProtocol:
+    def test_trace_does_not_change_rounds(self, small_undirected):
+        # ComputePairs builds its own network internally; trace at the
+        # router level by comparing a traced vs untraced IdentifyClass run.
+        from repro.congest.partitions import CliquePartitions
+        from repro.core.evaluation import block_two_hop
+        from repro.core.identify_class import run_identify_class
+
+        instance = FindEdgesInstance(small_undirected)
+        n = instance.num_vertices
+
+        def run(with_tracer):
+            net = CongestClique(n, rng=0)
+            if with_tracer:
+                net.tracer = Tracer(n)
+            partitions = CliquePartitions(n)
+            net.register_scheme("triple", partitions.triple_labels())
+            cache = {}
+
+            def two_hop_for(bu, bv):
+                key = (bu, bv)
+                if key not in cache:
+                    cache[key] = block_two_hop(
+                        instance.graph.weights,
+                        partitions.coarse.block(bu),
+                        partitions.coarse.block(bv),
+                        partitions.fine.blocks(),
+                    )
+                return cache[key]
+
+            run_identify_class(
+                net, instance, partitions, TEST_CONSTANTS, two_hop_for, rng=7
+            )
+            return net
+
+        traced = run(True)
+        untraced = run(False)
+        assert traced.ledger.snapshot() == untraced.ledger.snapshot()
+        assert traced.tracer.total_rounds() == traced.ledger.total

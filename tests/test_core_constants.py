@@ -1,0 +1,98 @@
+"""Tests for the paper-constants bundle and its scale knob."""
+
+import math
+
+import pytest
+
+from repro.core.constants import PAPER, SIMULATION, PaperConstants
+
+
+class TestScaling:
+    def test_paper_defaults(self):
+        assert PAPER.scale == 1.0
+        assert PAPER.promise_bound(256) == 90 * 8  # 90·log2(256)
+
+    def test_scale_multiplies_uniformly(self):
+        half = PaperConstants(scale=0.5)
+        n = 256
+        assert half.promise_bound(n) == pytest.approx(0.5 * PAPER.promise_bound(n))
+        assert half.balance_bound(n) == pytest.approx(0.5 * PAPER.balance_bound(n))
+        assert half.identify_abort_bound(n) == pytest.approx(
+            0.5 * PAPER.identify_abort_bound(n)
+        )
+
+    def test_rates_capped_at_one(self):
+        big = PaperConstants(scale=100.0)
+        assert big.lambda_rate(16) == 1.0
+        assert big.identify_rate(16) == 1.0
+        assert big.findedges_sample_probability(16, 0) == 1.0
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            PaperConstants(scale=0.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PAPER.scale = 2.0  # type: ignore[misc]
+
+
+class TestFormulas:
+    def test_lambda_rate_formula(self):
+        # 10·log2(256)/√256 = 10·8/16 = 5 → capped at 1.
+        assert PAPER.lambda_rate(256) == 1.0
+        # At n = 2^20 the rate is genuinely below 1: 10·20/1024.
+        assert PAPER.lambda_rate(2**20) == pytest.approx(200 / 1024)
+
+    def test_class_threshold_doubles(self):
+        n = 256
+        assert PAPER.class_threshold(n, 3) == pytest.approx(
+            2 * PAPER.class_threshold(n, 2)
+        )
+
+    def test_class_size_bound_halves(self):
+        n = 256
+        assert PAPER.class_size_bound(n, 3) == pytest.approx(
+            PAPER.class_size_bound(n, 2) / 2
+        )
+
+    def test_eval_beta_matches_paper_form(self):
+        n = 256
+        assert PAPER.eval_beta(n, 0) == pytest.approx(800 * 16 * 8)
+        assert PAPER.eval_beta(n, 2) == pytest.approx(4 * 800 * 16 * 8)
+
+    def test_findedges_loop_threshold_growth(self):
+        n = 4096
+        t0 = PAPER.findedges_loop_threshold(n, 0)
+        t3 = PAPER.findedges_loop_threshold(n, 3)
+        assert t3 == pytest.approx(8 * t0)
+
+    def test_findedges_sample_probability_sqrt_form(self):
+        n = 2**16
+        expected = math.sqrt(60 * 16 / n)
+        assert PAPER.findedges_sample_probability(n, 0) == pytest.approx(expected)
+
+    def test_pairs_per_node(self):
+        assert PAPER.pairs_per_node(256) == 100 * 256 * 8
+
+    def test_simulation_bundle_is_scaled_paper(self):
+        n = 81
+        assert SIMULATION.promise_bound(n) == pytest.approx(
+            0.05 * PAPER.promise_bound(n)
+        )
+
+
+class TestPaperRegimeSanity:
+    def test_loop_runs_at_large_n(self):
+        # At n = 2^20 Proposition 1's loop executes several iterations:
+        # 60·2^i·20 ≤ 2^20 for i up to ~9.
+        n = 2**20
+        iterations = 0
+        while PAPER.findedges_loop_threshold(n, iterations) <= n:
+            iterations += 1
+        assert 8 <= iterations <= 11
+
+    def test_loop_degenerate_at_small_n(self):
+        # At n ≤ 512 the loop body never runs (60·log n > n) — the paper's
+        # constants target asymptotics; the scale knob restores the regime.
+        n = 256
+        assert PAPER.findedges_loop_threshold(n, 0) > n

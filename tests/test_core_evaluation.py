@@ -1,0 +1,109 @@
+"""Tests for the evaluation-procedure helpers (Figures 4 and 5)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.constants import PAPER, PaperConstants
+from repro.core.evaluation import (
+    PAIR_QUERY_WORDS,
+    block_two_hop,
+    duplication_count,
+    evaluation_rounds,
+    step0_duplication_loads,
+)
+from repro.graphs.triangles import two_hop_minplus
+
+INF = float("inf")
+
+
+class TestBlockTwoHop:
+    def test_matches_global_minplus_on_full_blocks(self):
+        g = repro.random_undirected_graph(12, density=0.7, max_weight=6, rng=1)
+        full = two_hop_minplus(g.weights)
+        blocks = [np.arange(0, 6), np.arange(6, 12)]
+        out = block_two_hop(g.weights, np.arange(12), np.arange(12), blocks)
+        # Min across the two fine blocks equals the global two-hop min.
+        assert np.allclose(out.min(axis=2), full)
+
+    def test_single_witness_path(self):
+        w = np.full((4, 4), INF)
+        w[0, 2] = w[2, 0] = 3.0
+        w[2, 1] = w[1, 2] = 4.0
+        out = block_two_hop(w, np.array([0]), np.array([1]), [np.array([2]), np.array([3])])
+        assert out[0, 0, 0] == 7.0       # through w=2
+        assert np.isinf(out[0, 0, 1])    # block {3} has no path
+
+    def test_shape(self):
+        w = np.full((6, 6), INF)
+        out = block_two_hop(
+            w, np.arange(2), np.arange(2, 5), [np.array([5]), np.array([0, 1])]
+        )
+        assert out.shape == (2, 3, 2)
+
+
+class TestDuplicationCount:
+    def test_alpha_zero_is_one(self):
+        assert duplication_count(PAPER, 256, 0) == 1
+
+    def test_paper_formula(self):
+        # 2^α / (720·log n): at n=256 (log=8), α=13 → 8192/5760 ≈ 1.42 → 1;
+        # α=14 → 16384/5760 ≈ 2.8 → 3.
+        assert duplication_count(PAPER, 256, 13) == 1
+        assert duplication_count(PAPER, 256, 14) == 3
+
+    def test_scale_lowers_denominator(self):
+        small = PaperConstants(scale=0.01)
+        assert duplication_count(small, 256, 8) > duplication_count(PAPER, 256, 8)
+
+    def test_never_below_one(self):
+        assert duplication_count(PAPER, 256, 1) == 1
+
+
+class TestEvaluationRounds:
+    def test_simple_plan(self):
+        # 4 nodes; one search node queries 2 destinations with 3 pairs each.
+        node_physical = {"s": 0}
+        dest_physical = {"d1": 1, "d2": 2}
+        plan = {"s": {"d1": 3, "d2": 3}}
+        rounds = evaluation_rounds(4, node_physical, plan, dest_physical, beta_pairs=10)
+        # 6 pairs · 3 words = 18 source words on a 4-clique: one-way
+        # 2·⌈18/4⌉ = 10, times 2 for the answers.
+        assert rounds == 20.0
+
+    def test_beta_caps_per_destination(self):
+        node_physical = {"s": 0}
+        dest_physical = {"d": 1}
+        plan = {"s": {"d": 1000}}
+        capped = evaluation_rounds(4, node_physical, plan, dest_physical, beta_pairs=5)
+        uncapped = evaluation_rounds(4, node_physical, plan, dest_physical, beta_pairs=2000)
+        assert capped < uncapped
+        # 5 pairs · 3 words = 15 → one-way 2·⌈15/4⌉ = 8 → 16 total.
+        assert capped == 16.0
+
+    def test_empty_plan_free(self):
+        assert evaluation_rounds(4, {}, {}, {}, beta_pairs=5) == 0.0
+
+    def test_colocated_virtual_destinations_share_load(self):
+        node_physical = {"s": 0}
+        dest_physical = {"d1": 1, "d2": 1}  # same physical host
+        plan = {"s": {"d1": 4, "d2": 4}}
+        shared = evaluation_rounds(4, node_physical, plan, dest_physical, beta_pairs=10)
+        dest_spread = {"d1": 1, "d2": 2}
+        spread = evaluation_rounds(4, node_physical, plan, dest_spread, beta_pairs=10)
+        assert shared >= spread
+
+
+class TestStep0Duplication:
+    def test_no_duplicates_free(self):
+        rounds = step0_duplication_loads(
+            4, {"t": 0}, {"t": [0]}, {"t": 100}
+        )
+        assert rounds == 0.0  # duplicate on same physical node costs nothing
+
+    def test_cross_node_duplication_charged(self):
+        rounds = step0_duplication_loads(
+            4, {"t": 0}, {"t": [1, 2]}, {"t": 6}
+        )
+        # Source ships 2 × 6 words: 2·⌈12/4⌉ = 6 rounds.
+        assert rounds == 6.0

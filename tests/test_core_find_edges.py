@@ -1,0 +1,91 @@
+"""Tests for the FindEdges solvers (Proposition 1 and the reference)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.constants import PaperConstants
+from repro.core.find_edges import QuantumFindEdges, ReferenceFindEdges
+from repro.core.problems import FindEdgesInstance
+
+from tests.conftest import TEST_CONSTANTS
+
+
+class TestReferenceBackend:
+    def test_exact_and_free(self, small_undirected):
+        instance = FindEdgesInstance(small_undirected)
+        solution = ReferenceFindEdges().find_edges(instance)
+        assert solution.pairs == instance.reference_solution()
+        assert solution.rounds == 0.0
+
+
+class TestQuantumFindEdges:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_exact_on_random_graphs(self, seed, small_undirected):
+        instance = FindEdgesInstance(small_undirected)
+        backend = QuantumFindEdges(constants=TEST_CONSTANTS, rng=seed)
+        solution = backend.find_edges(instance)
+        assert solution.pairs == instance.reference_solution()
+
+    def test_loop_degenerate_at_small_n(self, small_undirected):
+        # With scale 0.5 and n=16, 0.5·60·log(16) = 120 > 16: the Prop. 1
+        # loop body never runs; exactly one promise call happens.
+        instance = FindEdgesInstance(small_undirected)
+        backend = QuantumFindEdges(constants=TEST_CONSTANTS, rng=0)
+        solution = backend.find_edges(instance)
+        assert solution.details["loop_iterations"] == 0
+        assert solution.details["promise_calls"] == 1
+
+    def test_loop_engages_with_small_sample_factor(self):
+        # Forcing the loop: sample factor so small the threshold stays ≤ n
+        # for a few iterations.
+        graph = repro.random_undirected_graph(16, density=0.7, max_weight=6, rng=4)
+        instance = FindEdgesInstance(graph)
+        consts = PaperConstants(scale=0.5, findedges_sample_factor=2.0)
+        backend = QuantumFindEdges(constants=consts, rng=1)
+        solution = backend.find_edges(instance)
+        assert solution.details["loop_iterations"] >= 1
+        # Sampled iterations may catch pairs early, but the final
+        # full-graph call guarantees completeness.
+        assert solution.pairs == instance.reference_solution()
+
+    def test_rounds_accumulate_across_calls(self, small_undirected):
+        instance = FindEdgesInstance(small_undirected)
+        consts = PaperConstants(scale=0.5, findedges_sample_factor=2.0)
+        backend = QuantumFindEdges(constants=consts, rng=1)
+        solution = backend.find_edges(instance)
+        phases = solution.ledger.snapshot()
+        loop_phases = {name for name in phases if name.startswith("findedges.loop")}
+        assert loop_phases  # loop charged under its own prefixes
+        assert any(name.startswith("findedges.final.") for name in phases)
+        assert solution.rounds == pytest.approx(solution.ledger.total)
+
+    def test_scope_restriction(self, small_undirected):
+        truth = FindEdgesInstance(small_undirected).reference_solution()
+        scope = set(list(truth)[:2]) | {(0, 1)}
+        instance = FindEdgesInstance(small_undirected, scope=scope)
+        backend = QuantumFindEdges(constants=TEST_CONSTANTS, rng=2)
+        solution = backend.find_edges(instance)
+        assert solution.pairs == truth & scope
+
+    def test_grover_free_variant_exact(self, small_undirected):
+        instance = FindEdgesInstance(small_undirected)
+        backend = repro.GroverFreeFindEdges(constants=TEST_CONSTANTS, rng=0)
+        solution = backend.find_edges(instance)
+        assert solution.pairs == instance.reference_solution()
+        assert backend.search_mode == "classical"
+
+
+class TestPromiseRegime:
+    def test_heavy_pairs_handled_without_promise(self):
+        # A pair in ~n negative triangles: the plain promise bound is
+        # violated, but FindEdges (Prop. 1 wrapper) must still be exact.
+        graph, planted = repro.planted_negative_triangle_graph(
+            16, num_planted=1, triangles_per_pair=14, rng=5
+        )
+        instance = FindEdgesInstance(graph)
+        assert instance.max_scope_triangle_count() >= 14
+        backend = QuantumFindEdges(constants=TEST_CONSTANTS, rng=3)
+        solution = backend.find_edges(instance)
+        assert solution.pairs == instance.reference_solution()
+        assert planted <= solution.pairs

@@ -1,0 +1,33 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example ends with internal assertions against ground truth, so a clean
+exit is a meaningful end-to-end check of the public API.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    assert "quickstart.py" in ALL_EXAMPLES
+    assert len(ALL_EXAMPLES) >= 4
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"

@@ -1,0 +1,104 @@
+"""Failure-injection tests.
+
+A wrapper backend flips FindEdges answers with a configurable probability;
+these tests establish (a) the wrapper is transparent at probability 0,
+(b) corrupted negative-triangle answers propagate into *wrong distance
+products*, and (c) the certificate validator catches the resulting corrupt
+APSP outputs — i.e. the validation layer actually protects downstream users
+from a faulty solver, which is the reason it exists.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.problems import FindEdgesInstance, FindEdgesSolution
+from repro.core.reductions import distance_product_via_find_edges
+from repro.util.rng import ensure_rng
+
+
+class FlakyFindEdges:
+    """Wraps a backend; each reported pair set is perturbed with
+    probability ``flip_probability`` (one random pair added or removed)."""
+
+    def __init__(self, inner, flip_probability: float, rng=None) -> None:
+        self.inner = inner
+        self.flip_probability = flip_probability
+        self.rng = ensure_rng(rng)
+        self.flips = 0
+
+    def find_edges(self, instance: FindEdgesInstance) -> FindEdgesSolution:
+        solution = self.inner.find_edges(instance)
+        if self.rng.random() >= self.flip_probability:
+            return solution
+        scope = sorted(instance.effective_scope())
+        if not scope:
+            return solution
+        self.flips += 1
+        victim = scope[int(self.rng.integers(0, len(scope)))]
+        pairs = set(solution.pairs)
+        if victim in pairs:
+            pairs.discard(victim)
+        else:
+            pairs.add(victim)
+        return FindEdgesSolution(
+            pairs=pairs,
+            rounds=solution.rounds,
+            ledger=solution.ledger,
+            aborts=solution.aborts,
+        )
+
+
+def random_operands(seed, n=5, max_abs=5):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-max_abs, max_abs + 1, size=(n, n)).astype(float)
+    b = rng.integers(-max_abs, max_abs + 1, size=(n, n)).astype(float)
+    return a, b
+
+
+class TestFlakyWrapper:
+    def test_transparent_at_zero(self):
+        a, b = random_operands(1)
+        backend = FlakyFindEdges(repro.ReferenceFindEdges(), 0.0, rng=0)
+        report = distance_product_via_find_edges(a, b, backend)
+        assert np.array_equal(report.product, repro.distance_product(a, b))
+        assert backend.flips == 0
+
+    def test_always_flipping_corrupts_products(self):
+        corrupted = 0
+        for seed in range(10):
+            a, b = random_operands(seed)
+            backend = FlakyFindEdges(repro.ReferenceFindEdges(), 1.0, rng=seed)
+            report = distance_product_via_find_edges(a, b, backend)
+            if not np.array_equal(report.product, repro.distance_product(a, b)):
+                corrupted += 1
+        assert corrupted >= 8  # flipped answers wreck the binary search
+
+    def test_flip_counter_tracks_calls(self):
+        a, b = random_operands(2)
+        backend = FlakyFindEdges(repro.ReferenceFindEdges(), 1.0, rng=1)
+        report = distance_product_via_find_edges(a, b, backend)
+        assert backend.flips == report.find_edges_calls
+
+
+class TestValidatorCatchesFaultySolver:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_corrupt_apsp_rejected(self, seed):
+        graph = repro.random_digraph_no_negative_cycle(8, density=0.6, rng=seed)
+        backend = FlakyFindEdges(repro.ReferenceFindEdges(), 0.8, rng=seed)
+        solver = repro.QuantumAPSP(backend=backend)
+        try:
+            report = solver.solve(graph)
+        except repro.NegativeCycleError:
+            return  # corruption produced a (false) negative-cycle signal: caught
+        truth = repro.floyd_warshall(graph)
+        if np.array_equal(report.distances, truth):
+            return  # corruption happened to cancel out — nothing to catch
+        assert not repro.validate_apsp(graph, report.distances).valid
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_honest_solver_accepted(self, seed):
+        graph = repro.random_digraph_no_negative_cycle(8, density=0.6, rng=seed)
+        solver = repro.QuantumAPSP(backend=repro.ReferenceFindEdges())
+        report = solver.solve(graph)
+        assert repro.validate_apsp(graph, report.distances).valid

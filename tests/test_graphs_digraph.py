@@ -1,0 +1,178 @@
+"""Unit tests for the graph containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.digraph import (
+    INF,
+    UndirectedWeightedGraph,
+    WeightedDigraph,
+    pair_key,
+    pairs_between,
+)
+
+
+def small_digraph():
+    return WeightedDigraph.from_edges(4, [(0, 1, 3), (1, 2, -2), (2, 0, 5), (0, 3, 1)])
+
+
+class TestWeightedDigraph:
+    def test_from_edges_roundtrip(self):
+        g = small_digraph()
+        assert g.num_vertices == 4
+        assert g.num_edges == 4
+        assert g.weight(1, 2) == -2
+        assert g.has_edge(0, 3)
+        assert not g.has_edge(3, 0)  # directed
+
+    def test_edges_iteration(self):
+        g = small_digraph()
+        assert sorted(g.edges()) == [(0, 1, 3.0), (0, 3, 1.0), (1, 2, -2.0), (2, 0, 5.0)]
+
+    def test_missing_edge_is_inf(self):
+        g = small_digraph()
+        assert g.weight(3, 1) == INF
+
+    def test_diagonal_forced_to_inf_internally(self):
+        matrix = np.full((3, 3), INF)
+        matrix[0, 0] = 5.0  # should be scrubbed
+        g = WeightedDigraph(matrix)
+        assert g.weight(0, 0) == INF
+
+    def test_apsp_matrix_zero_diagonal(self):
+        g = small_digraph()
+        apsp = g.apsp_matrix()
+        assert np.array_equal(np.diag(apsp), np.zeros(4))
+        assert apsp[0, 1] == 3.0
+
+    def test_apsp_matrix_does_not_mutate_graph(self):
+        g = small_digraph()
+        g.apsp_matrix()[0, 1] = -99
+        assert g.weight(0, 1) == 3.0
+
+    def test_weights_read_only(self):
+        g = small_digraph()
+        with pytest.raises(ValueError):
+            g.weights[0, 1] = 0
+
+    def test_max_abs_weight(self):
+        assert small_digraph().max_abs_weight() == 5.0
+
+    def test_max_abs_weight_empty_graph(self):
+        g = WeightedDigraph(np.full((3, 3), INF))
+        assert g.max_abs_weight() == 0.0
+
+    def test_out_row_matches_matrix(self):
+        g = small_digraph()
+        assert np.array_equal(g.out_row(0), g.weights[0])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            WeightedDigraph.from_edges(3, [(1, 1, 2)])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(GraphError):
+            WeightedDigraph.from_edges(3, [(0, 5, 2)])
+
+    def test_rejects_non_square(self):
+        with pytest.raises(GraphError):
+            WeightedDigraph(np.zeros((2, 3)))
+
+    def test_rejects_nan(self):
+        matrix = np.full((2, 2), INF)
+        matrix[0, 1] = float("nan")
+        with pytest.raises(GraphError):
+            WeightedDigraph(matrix)
+
+    def test_rejects_neg_inf(self):
+        matrix = np.full((2, 2), INF)
+        matrix[0, 1] = float("-inf")
+        with pytest.raises(GraphError):
+            WeightedDigraph(matrix)
+
+    def test_rejects_fractional_weights(self):
+        matrix = np.full((2, 2), INF)
+        matrix[0, 1] = 2.5
+        with pytest.raises(GraphError):
+            WeightedDigraph(matrix)
+
+    def test_equality(self):
+        assert small_digraph() == small_digraph()
+        other = WeightedDigraph.from_edges(4, [(0, 1, 3)])
+        assert small_digraph() != other
+
+
+class TestUndirectedWeightedGraph:
+    def test_from_edges_symmetric(self):
+        g = UndirectedWeightedGraph.from_edges(3, [(0, 1, -4), (1, 2, 7)])
+        assert g.weight(0, 1) == -4
+        assert g.weight(1, 0) == -4
+        assert g.num_edges == 2
+
+    def test_neighbors(self):
+        g = UndirectedWeightedGraph.from_edges(4, [(0, 1, 1), (0, 3, 2), (1, 2, 3)])
+        assert g.neighbors(0).tolist() == [1, 3]
+        assert g.neighbors(2).tolist() == [1]
+
+    def test_edge_pairs_canonical_and_complete(self):
+        g = UndirectedWeightedGraph.from_edges(4, [(2, 0, 1), (3, 1, 2)])
+        assert sorted(g.edge_pairs()) == [(0, 2), (1, 3)]
+
+    def test_edge_pairs_ignores_lower_triangle_artifacts(self):
+        # Regression: np.triu on a float matrix turns the lower triangle
+        # into (finite!) zeros; edge_pairs must mask *then* triu.
+        g = UndirectedWeightedGraph.from_edges(5, [(0, 1, 1)])
+        assert g.edge_pairs() == [(0, 1)]
+
+    def test_rejects_asymmetric_weights(self):
+        matrix = np.full((3, 3), INF)
+        matrix[0, 1] = 1.0
+        matrix[1, 0] = 2.0
+        with pytest.raises(GraphError):
+            UndirectedWeightedGraph(matrix)
+
+    def test_rejects_asymmetric_edges(self):
+        matrix = np.full((3, 3), INF)
+        matrix[0, 1] = 1.0
+        with pytest.raises(GraphError):
+            UndirectedWeightedGraph(matrix)
+
+    def test_subgraph_with_edges(self):
+        g = UndirectedWeightedGraph.from_edges(4, [(0, 1, 1), (1, 2, 2), (2, 3, 3)])
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[1, 2] = mask[2, 1] = True
+        sub = g.subgraph_with_edges(mask)
+        assert sub.num_edges == 1
+        assert sub.weight(1, 2) == 2.0
+        assert not sub.has_edge(0, 1)
+
+    def test_subgraph_rejects_asymmetric_mask(self):
+        g = UndirectedWeightedGraph.from_edges(3, [(0, 1, 1)])
+        mask = np.zeros((3, 3), dtype=bool)
+        mask[0, 1] = True
+        with pytest.raises(GraphError):
+            g.subgraph_with_edges(mask)
+
+    def test_subgraph_rejects_bad_shape(self):
+        g = UndirectedWeightedGraph.from_edges(3, [(0, 1, 1)])
+        with pytest.raises(GraphError):
+            g.subgraph_with_edges(np.zeros((2, 2), dtype=bool))
+
+
+class TestPairHelpers:
+    def test_pair_key_sorts(self):
+        assert pair_key(5, 2) == (2, 5)
+        assert pair_key(2, 5) == (2, 5)
+
+    def test_pairs_between_distinct_blocks(self):
+        pairs = pairs_between([0, 1], [2, 3])
+        assert pairs == [(0, 2), (0, 3), (1, 2), (1, 3)]
+
+    def test_pairs_between_same_block_dedupes(self):
+        pairs = pairs_between([0, 1, 2], [0, 1, 2])
+        assert pairs == [(0, 1), (0, 2), (1, 2)]
+
+    def test_pairs_between_overlapping_blocks(self):
+        pairs = pairs_between([0, 1], [1, 2])
+        assert pairs == [(0, 1), (0, 2), (1, 2)]

@@ -1,0 +1,149 @@
+"""Unit tests for the instance generators."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import GraphError, NegativeCycleError
+from repro.graphs.generators import (
+    planted_negative_triangle_graph,
+    random_digraph,
+    random_digraph_no_negative_cycle,
+    random_undirected_graph,
+    tripartite_from_matrices,
+)
+from repro.graphs.triangles import negative_triangle_counts
+
+
+class TestRandomDigraph:
+    def test_size_and_determinism(self):
+        a = random_digraph(10, density=0.5, max_weight=8, rng=1)
+        b = random_digraph(10, density=0.5, max_weight=8, rng=1)
+        assert a == b
+        assert a.num_vertices == 10
+
+    def test_density_zero_gives_no_edges(self):
+        assert random_digraph(6, density=0.0, rng=0).num_edges == 0
+
+    def test_density_one_gives_complete(self):
+        g = random_digraph(6, density=1.0, rng=0)
+        assert g.num_edges == 6 * 5
+
+    def test_positive_weights_by_default(self):
+        g = random_digraph(8, density=1.0, max_weight=5, rng=2)
+        finite = g.weights[np.isfinite(g.weights)]
+        assert (finite >= 1).all()
+
+    def test_allow_negative(self):
+        g = random_digraph(12, density=1.0, max_weight=5, allow_negative=True, rng=2)
+        finite = g.weights[np.isfinite(g.weights)]
+        assert (finite < 0).any()
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(GraphError):
+            random_digraph(5, density=1.5)
+
+
+class TestNoNegativeCycle:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_never_produces_negative_cycle(self, seed):
+        g = random_digraph_no_negative_cycle(
+            12, density=0.6, max_weight=8, rng=seed
+        )
+        # Floyd–Warshall raising would mean a negative cycle slipped in.
+        repro.floyd_warshall(g)
+
+    def test_produces_some_negative_edges(self):
+        hits = 0
+        for seed in range(10):
+            g = random_digraph_no_negative_cycle(
+                12, density=0.8, max_weight=8, negative_fraction=0.5, rng=seed
+            )
+            finite = g.weights[np.isfinite(g.weights)]
+            hits += int((finite < 0).any())
+        assert hits >= 5  # the potential trick yields negatives regularly
+
+
+class TestRandomUndirected:
+    def test_symmetric(self):
+        g = random_undirected_graph(10, density=0.5, rng=1)
+        assert np.array_equal(g.weights, g.weights.T)
+
+    def test_deterministic(self):
+        a = random_undirected_graph(10, density=0.5, rng=9)
+        b = random_undirected_graph(10, density=0.5, rng=9)
+        assert a == b
+
+
+class TestPlanted:
+    @pytest.mark.parametrize("per_pair", [1, 3])
+    def test_planted_pairs_are_in_negative_triangles(self, per_pair):
+        graph, planted = planted_negative_triangle_graph(
+            15, num_planted=4, triangles_per_pair=per_pair, rng=5
+        )
+        counts = negative_triangle_counts(graph)
+        for u, v in planted:
+            assert counts[u, v] >= per_pair
+
+    def test_no_planting_gives_no_negative_triangles(self):
+        graph, planted = planted_negative_triangle_graph(10, num_planted=0, rng=5)
+        assert planted == set()
+        assert negative_triangle_counts(graph).max() == 0
+
+    def test_rejects_too_many_pairs(self):
+        with pytest.raises(GraphError):
+            planted_negative_triangle_graph(4, num_planted=100, rng=0)
+
+
+class TestTripartite:
+    def test_shape_and_classes(self):
+        n = 4
+        a = np.ones((n, n))
+        b = np.ones((n, n))
+        d = np.zeros((n, n))
+        g = tripartite_from_matrices(a, b, d)
+        assert g.num_vertices == 3 * n
+        # No edges inside a class.
+        w = g.weights
+        assert not np.isfinite(w[:n, :n]).any()
+        assert not np.isfinite(w[n : 2 * n, n : 2 * n]).any()
+        assert not np.isfinite(w[2 * n :, 2 * n :]).any()
+
+    def test_equation_one(self):
+        # {i, j} in a negative triangle  ⇔  min_k(A[i,k]+B[k,j]) < D[i,j].
+        rng = np.random.default_rng(3)
+        n = 5
+        a = rng.integers(-4, 5, size=(n, n)).astype(float)
+        b = rng.integers(-4, 5, size=(n, n)).astype(float)
+        d = rng.integers(-4, 5, size=(n, n)).astype(float)
+        g = tripartite_from_matrices(a, b, d)
+        counts = negative_triangle_counts(g)
+        product = repro.distance_product(a, b)
+        for i in range(n):
+            for j in range(n):
+                expected = product[i, j] < d[i, j]
+                assert (counts[i, n + j] > 0) == expected
+
+    def test_inf_d_removes_pair_edge(self):
+        n = 2
+        a = np.zeros((n, n))
+        b = np.zeros((n, n))
+        d = np.full((n, n), -np.inf)
+        g = tripartite_from_matrices(a, b, d)
+        assert not np.isfinite(g.weights[:n, n : 2 * n]).any()
+
+    def test_weight_orientation_of_b(self):
+        # f(j, k) must equal B[k, j] (not B[j, k]).
+        n = 2
+        a = np.full((n, n), np.inf)
+        b = np.full((n, n), np.inf)
+        b[0, 1] = 7.0  # row k=0, column j=1
+        d = np.full((n, n), np.inf)
+        g = tripartite_from_matrices(a, b, d)
+        j_vertex = n + 1
+        k_vertex = 2 * n + 0
+        assert g.weight(j_vertex, k_vertex) == 7.0
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(GraphError):
+            tripartite_from_matrices(np.zeros((2, 2)), np.zeros((3, 3)), np.zeros((2, 2)))

@@ -1,0 +1,99 @@
+"""Tests for graph serialization (npz, edge list, networkx)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import GraphError
+from repro.graphs import io as graph_io
+
+
+class TestNpzRoundtrip:
+    def test_digraph(self, tmp_path, small_digraph):
+        path = tmp_path / "g.npz"
+        graph_io.save_npz(small_digraph, path)
+        loaded = graph_io.load_npz(path)
+        assert isinstance(loaded, repro.WeightedDigraph)
+        assert loaded == small_digraph
+
+    def test_undirected(self, tmp_path, small_undirected):
+        path = tmp_path / "g.npz"
+        graph_io.save_npz(small_undirected, path)
+        loaded = graph_io.load_npz(path)
+        assert isinstance(loaded, repro.UndirectedWeightedGraph)
+        assert loaded == small_undirected
+
+    def test_rejects_foreign_archive(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(GraphError):
+            graph_io.load_npz(path)
+
+
+class TestEdgeListRoundtrip:
+    def test_digraph(self, tmp_path, small_digraph):
+        path = tmp_path / "g.txt"
+        graph_io.save_edge_list(small_digraph, path)
+        loaded = graph_io.load_edge_list(path)
+        assert loaded == small_digraph
+
+    def test_undirected(self, tmp_path, small_undirected):
+        path = tmp_path / "g.txt"
+        graph_io.save_edge_list(small_undirected, path)
+        loaded = graph_io.load_edge_list(path)
+        assert loaded == small_undirected
+
+    def test_header_preserves_isolated_vertices(self, tmp_path):
+        graph = repro.WeightedDigraph.from_edges(7, [(0, 1, 3)])
+        path = tmp_path / "g.txt"
+        graph_io.save_edge_list(graph, path)
+        assert graph_io.load_edge_list(path).num_vertices == 7
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text(
+            "# repro-graph directed 3\n\n# a comment\n0 1 5\n\n1 2 -2\n"
+        )
+        loaded = graph_io.load_edge_list(path)
+        assert loaded.weight(1, 2) == -2
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 5\n")
+        with pytest.raises(GraphError):
+            graph_io.load_edge_list(path)
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# repro-graph directed 3\n0 1\n")
+        with pytest.raises(GraphError):
+            graph_io.load_edge_list(path)
+
+
+class TestNetworkxAdapters:
+    def test_digraph_roundtrip(self, small_digraph):
+        nx_graph = graph_io.to_networkx(small_digraph)
+        back = graph_io.from_networkx(nx_graph)
+        assert back == small_digraph
+
+    def test_undirected_roundtrip(self, small_undirected):
+        nx_graph = graph_io.to_networkx(small_undirected)
+        back = graph_io.from_networkx(nx_graph)
+        assert back == small_undirected
+
+    def test_default_weight_is_one(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(3))
+        g.add_edge(0, 1)
+        back = graph_io.from_networkx(g)
+        assert back.weight(0, 1) == 1.0
+
+    def test_rejects_non_integer_labels(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge("a", "b")
+        with pytest.raises(GraphError):
+            graph_io.from_networkx(g)

@@ -1,0 +1,113 @@
+"""End-to-end integration tests across the whole stack.
+
+These tie every layer together: graph generation → CONGEST-CLIQUE protocols
+→ quantum searches → reductions → distances, verified against two
+independent centralized oracles.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.problems import FindEdgesInstance
+
+from tests.conftest import LIGHT_CONSTANTS, TEST_CONSTANTS
+
+
+class TestFindEdgesBackendsAgree:
+    """All three FindEdges backends must produce identical outputs."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_three_backends_identical(self, seed):
+        graph = repro.random_undirected_graph(16, density=0.6, max_weight=8, rng=seed)
+        instance = FindEdgesInstance(graph)
+        reference = repro.ReferenceFindEdges().find_edges(instance).pairs
+        dolev = repro.DolevFindEdges(rng=seed).find_edges(instance).pairs
+        quantum = repro.QuantumFindEdges(
+            constants=TEST_CONSTANTS, rng=seed
+        ).find_edges(instance).pairs
+        assert reference == dolev == quantum
+
+
+class TestAPSPSolversAgree:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_all_solvers_match_ground_truth(self, seed):
+        graph = repro.random_digraph_no_negative_cycle(8, density=0.5, rng=seed)
+        truth = repro.floyd_warshall(graph)
+
+        quantum = repro.QuantumAPSP(
+            backend=repro.QuantumFindEdges(constants=TEST_CONSTANTS, rng=seed)
+        ).solve(graph)
+        classical = repro.CensorHillelAPSP(rng=seed).solve(graph)
+        reference = repro.solve_apsp_reference_pipeline(graph)
+
+        assert np.array_equal(quantum.distances, truth)
+        assert np.array_equal(classical.distances, truth)
+        assert np.array_equal(reference.distances, truth)
+
+    def test_bellman_ford_agrees_per_source(self):
+        graph = repro.random_digraph_no_negative_cycle(10, density=0.6, rng=7)
+        quantum = repro.QuantumAPSP(
+            backend=repro.QuantumFindEdges(constants=TEST_CONSTANTS, rng=7)
+        ).solve(graph)
+        for source in range(0, 10, 3):
+            assert np.array_equal(
+                quantum.distances[source], repro.bellman_ford(graph, source)
+            )
+
+
+class TestMediumScale:
+    def test_compute_pairs_n81(self):
+        # A fourth-power-free medium size exercising multi-block partitions.
+        graph = repro.random_undirected_graph(81, density=0.3, max_weight=6, rng=2)
+        instance = FindEdgesInstance(graph)
+        solution = repro.compute_pairs(instance, constants=LIGHT_CONSTANTS, rng=2)
+        truth = instance.reference_solution()
+        false_pos = solution.pairs - truth
+        false_neg = truth - solution.pairs
+        assert not false_pos  # verification forbids false positives
+        # Coverage and Grover noise allow a tiny number of misses.
+        assert len(false_neg) <= max(2, len(truth) // 50)
+
+    def test_weights_roundtrip_large_w(self):
+        # Larger weights exercise more binary-search levels (log M factor).
+        graph = repro.random_digraph_no_negative_cycle(
+            8, density=0.6, max_weight=200, rng=3
+        )
+        report = repro.solve_apsp_reference_pipeline(graph)
+        assert np.array_equal(report.distances, repro.floyd_warshall(graph))
+
+
+class TestRoundOrdering:
+    def test_quantum_step3_cheaper_than_classical_at_larger_n(self):
+        # At n = 81 with light constants the |X| scan starts losing to
+        # Grover inside Step 3 only asymptotically; here we check both
+        # modes remain correct and their round books are self-consistent.
+        graph = repro.random_undirected_graph(81, density=0.25, max_weight=5, rng=4)
+        instance = FindEdgesInstance(graph)
+        q = repro.compute_pairs(
+            instance, constants=LIGHT_CONSTANTS, rng=4, search_mode="quantum"
+        )
+        c = repro.compute_pairs(
+            instance, constants=LIGHT_CONSTANTS, rng=4, search_mode="classical"
+        )
+        truth = instance.reference_solution()
+        assert c.pairs == truth  # classical scan is exact
+        assert q.pairs <= truth
+        assert q.rounds == pytest.approx(q.ledger.total)
+        assert c.rounds == pytest.approx(c.ledger.total)
+
+
+class TestDistanceProductChain:
+    def test_repeated_products_stay_exact(self):
+        # Chain three products through the tripartite reduction and compare
+        # with pure numpy at each step (error would compound otherwise).
+        rng = np.random.default_rng(8)
+        current = rng.integers(-4, 5, size=(5, 5)).astype(float)
+        reference = current.copy()
+        backend = repro.ReferenceFindEdges()
+        for _ in range(3):
+            report = repro.distance_product_via_find_edges(current, current, backend)
+            current = report.product
+            reference = repro.distance_product(reference, reference)
+            assert np.array_equal(current, reference)

@@ -1,0 +1,117 @@
+"""Unit tests for the distributed quantum search framework (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.congest.accounting import RoundLedger
+from repro.errors import QuantumSimulationError
+from repro.quantum.distributed import DistributedQuantumSearch
+
+
+def make_search(items, solutions, *, eval_rounds=3.0, rng=0, amplification=12.0):
+    solution_set = set(solutions)
+    return DistributedQuantumSearch(
+        items,
+        lambda x: x in solution_set,
+        eval_rounds=eval_rounds,
+        rng=rng,
+        amplification=amplification,
+    )
+
+
+class TestConstruction:
+    def test_truth_table_built_once(self):
+        calls = []
+
+        def predicate(x):
+            calls.append(x)
+            return x == 2
+
+        DistributedQuantumSearch(range(5), predicate, eval_rounds=1.0, rng=0)
+        assert sorted(calls) == [0, 1, 2, 3, 4]
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(QuantumSimulationError):
+            DistributedQuantumSearch([], lambda x: True, eval_rounds=1.0)
+
+    def test_rejects_negative_eval_rounds(self):
+        with pytest.raises(QuantumSimulationError):
+            DistributedQuantumSearch([1], lambda x: True, eval_rounds=-1.0)
+
+
+class TestRun:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_finds_unique_solution(self, seed):
+        search = make_search(range(16), [11], rng=seed)
+        outcome = search.run()
+        assert outcome.found == 11
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_finds_one_of_many(self, seed):
+        solutions = {2, 5, 9}
+        search = make_search(range(12), solutions, rng=seed)
+        outcome = search.run()
+        assert outcome.found in solutions
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_no_solution_returns_none(self, seed):
+        search = make_search(range(10), [], rng=seed)
+        outcome = search.run()
+        assert outcome.found is None
+        # The search must have exhausted its repetition budget.
+        assert outcome.repetitions == search.max_repetitions()
+
+    def test_no_false_positive_ever(self):
+        # Verification makes false positives impossible regardless of seed.
+        for seed in range(20):
+            search = make_search(range(8), [3], rng=seed)
+            outcome = search.run()
+            assert outcome.found in (3, None)
+
+    def test_rounds_charged_to_ledger(self):
+        ledger = RoundLedger()
+        search = make_search(range(16), [4], eval_rounds=5.0, rng=1)
+        outcome = search.run(ledger, phase="my_search")
+        assert ledger.rounds("my_search") == outcome.rounds
+        assert outcome.rounds == pytest.approx(outcome.oracle_calls * 5.0)
+
+    def test_arbitrary_item_types(self):
+        items = [("w", i) for i in range(9)]
+        search = DistributedQuantumSearch(
+            items, lambda item: item[1] == 7, eval_rounds=1.0, rng=3
+        )
+        assert search.run().found == ("w", 7)
+
+    def test_round_cost_scales_with_sqrt_domain(self):
+        # Expected oracle calls grow ~√N: compare N=16 vs N=1024 on many
+        # seeds (failure-free searches).
+        def mean_calls(num_items):
+            total = 0
+            for seed in range(30):
+                search = make_search(range(num_items), [0], rng=seed)
+                total += search.run().oracle_calls
+            return total / 30
+
+        ratio = mean_calls(1024) / mean_calls(16)
+        # √(1024/16) = 8; BBHT noise keeps it within a loose band.
+        assert 2.0 < ratio < 25.0
+
+
+class TestRunFixed:
+    def test_fixed_iterations_probability(self):
+        # N=15 padded to 16 with the dummy ⇒ t' = 2 marked of 16.  At the
+        # optimal k = ⌊π/4·√(16/2)⌋ = 2 the marked-measurement probability is
+        # sin²(5·arcsin(√(1/8))) ≈ 0.95, and the dummy absorbs half the
+        # marked mass, so the real solution lands with p ≈ 0.47.
+        hits = 0
+        for seed in range(100):
+            search = make_search(range(15), [6], rng=seed)
+            outcome = search.run_fixed(2)
+            hits += outcome.found == 6
+        assert 30 <= hits <= 65
+
+    def test_fixed_charges_iterations_plus_verification(self):
+        search = make_search(range(8), [1], eval_rounds=2.0, rng=0)
+        outcome = search.run_fixed(4)
+        assert outcome.rounds == pytest.approx((4 + 1) * 2.0)
+        assert outcome.oracle_calls == 5

@@ -1,0 +1,157 @@
+"""Circuit-level Grover vs. the closed form — the amplitude tracker's anchor."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantumSimulationError
+from repro.quantum.amplitude import (
+    GroverAmplitudeTracker,
+    batch_success_probability,
+    max_iterations,
+    optimal_iterations,
+)
+from repro.quantum.grover import GroverCircuit
+from repro.util.mathutil import sin_squared_grover
+
+
+class TestGroverCircuit:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(QuantumSimulationError):
+            GroverCircuit(6, [0])
+
+    def test_rejects_tiny_space(self):
+        with pytest.raises(QuantumSimulationError):
+            GroverCircuit(1, [0])
+
+    def test_rejects_out_of_range_marked(self):
+        with pytest.raises(QuantumSimulationError):
+            GroverCircuit(8, [8])
+
+    def test_no_solutions_zero_probability(self):
+        circuit = GroverCircuit(8, [])
+        assert circuit.success_probability(3) == 0.0
+
+    def test_single_iteration_n4(self):
+        # N=4, t=1: one iteration is exact (probability 1).
+        circuit = GroverCircuit(4, [2])
+        assert circuit.success_probability(1) == pytest.approx(1.0)
+        assert circuit.sample(1, rng=0) == 2
+
+    def test_probability_grows_then_overshoots(self):
+        circuit = GroverCircuit(64, [7])
+        probs = [circuit.success_probability(k) for k in range(10)]
+        best = int(np.argmax(probs))
+        assert best == optimal_iterations(64, 1) == 6
+        assert probs[best] > 0.99
+        assert probs[9] < probs[best]  # overshoot: too many iterations hurt
+
+    @pytest.mark.parametrize("num_items,marked", [
+        (4, [0]),
+        (8, [1, 5]),
+        (16, [2, 3, 11]),
+        (32, [0, 31]),
+        (16, list(range(8))),
+    ])
+    def test_matches_closed_form(self, num_items, marked):
+        circuit = GroverCircuit(num_items, marked)
+        for k in range(7):
+            expected = sin_squared_grover(num_items, len(marked), k)
+            assert circuit.success_probability(k) == pytest.approx(expected, abs=1e-9)
+
+    def test_final_state_uniform_over_classes(self):
+        # Within the marked set (and within the unmarked set) amplitudes
+        # stay uniform — Grover acts in the 2-D subspace only.
+        circuit = GroverCircuit(16, [3, 9])
+        state = circuit.run(2)
+        probs = state.probabilities()
+        assert probs[3] == pytest.approx(probs[9])
+        unmarked = [i for i in range(16) if i not in (3, 9)]
+        assert np.allclose(probs[unmarked], probs[unmarked][0])
+
+
+class TestAmplitudeTracker:
+    def test_rejects_bad_counts(self):
+        with pytest.raises(QuantumSimulationError):
+            GroverAmplitudeTracker(0, 0)
+        with pytest.raises(QuantumSimulationError):
+            GroverAmplitudeTracker(4, 5)
+
+    def test_state_components_unit_norm(self):
+        tracker = GroverAmplitudeTracker(100, 3)
+        for k in range(20):
+            alpha, beta = tracker.state_components(k)
+            assert alpha**2 + beta**2 == pytest.approx(1.0)
+            assert beta**2 == pytest.approx(tracker.success_probability(k))
+
+    def test_degenerate_all_solutions(self):
+        tracker = GroverAmplitudeTracker(5, 5)
+        assert tracker.success_probability(0) == pytest.approx(1.0)
+        assert tracker.state_components(3) == (0.0, 1.0)
+
+    def test_degenerate_no_solutions(self):
+        tracker = GroverAmplitudeTracker(5, 0)
+        assert tracker.success_probability(4) == 0.0
+        assert tracker.state_components(2) == (1.0, 0.0)
+
+    def test_measure_is_solution_statistics(self):
+        tracker = GroverAmplitudeTracker(4, 1)
+        rng = np.random.default_rng(1)
+        hits = sum(tracker.measure_is_solution(0, rng) for _ in range(4000))
+        assert 0.2 < hits / 4000 < 0.3  # p = 1/4 at k = 0
+
+    def test_non_power_of_two_sizes_supported(self):
+        tracker = GroverAmplitudeTracker(7, 2)
+        assert 0.0 <= tracker.success_probability(1) <= 1.0
+
+
+class TestBatchProbability:
+    def test_matches_scalar(self):
+        counts = np.array([0, 1, 2, 5])
+        batch = batch_success_probability(10, counts, 2)
+        for count, value in zip(counts, batch):
+            assert value == pytest.approx(sin_squared_grover(10, int(count), 2))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(QuantumSimulationError):
+            batch_success_probability(4, np.array([5]), 1)
+
+
+class TestIterationHelpers:
+    def test_optimal_iterations(self):
+        assert optimal_iterations(4, 1) == 1
+        assert optimal_iterations(100, 1) == 7
+        assert optimal_iterations(100, 100) == 1  # floor clamps to ≥ 1
+
+    def test_max_iterations_ceiling(self):
+        assert max_iterations(16) == math.ceil(math.pi / 4 * 4)
+
+    def test_rejects_zero_solutions(self):
+        with pytest.raises(QuantumSimulationError):
+            optimal_iterations(8, 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    qubits=st.integers(min_value=2, max_value=6),
+    iterations=st.integers(min_value=0, max_value=8),
+    data=st.data(),
+)
+def test_property_circuit_equals_closed_form(qubits, iterations, data):
+    """The circuit simulator and the 2-D closed form agree everywhere."""
+    num_items = 2 ** qubits
+    num_marked = data.draw(st.integers(min_value=1, max_value=num_items - 1))
+    marked = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=num_items - 1),
+            min_size=num_marked,
+            max_size=num_marked,
+            unique=True,
+        )
+    )
+    circuit = GroverCircuit(num_items, marked)
+    expected = sin_squared_grover(num_items, len(marked), iterations)
+    assert circuit.success_probability(iterations) == pytest.approx(expected, abs=1e-9)

@@ -1,0 +1,190 @@
+"""Tests for Section 4.2: multiple searches using only typical inputs."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.congest.accounting import RoundLedger
+from repro.errors import QuantumSimulationError
+from repro.quantum.multisearch import (
+    MultiSearch,
+    atypical_mass,
+    exact_joint_state_simulation,
+    lemma5_truncated_mass_bound,
+    theorem3_fidelity_bound,
+)
+
+
+def simple_multisearch(num_items, marked_sets, **kwargs):
+    kwargs.setdefault("rng", 0)
+    return MultiSearch(
+        num_items, [np.asarray(m, dtype=np.int64) for m in marked_sets], **kwargs
+    )
+
+
+class TestConstruction:
+    def test_rejects_empty_search_list(self):
+        with pytest.raises(QuantumSimulationError):
+            MultiSearch(4, [])
+
+    def test_rejects_out_of_range_marked(self):
+        with pytest.raises(QuantumSimulationError):
+            simple_multisearch(4, [[5]])
+
+    def test_deduplicates_marked(self):
+        search = simple_multisearch(4, [[1, 1, 2]])
+        assert search._marked_effective[0].tolist() == [1, 2]
+
+
+class TestIdealRuns:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_all_searches_find_solutions(self, seed):
+        marked = [[2], [0, 3], [1], [4, 2]]
+        search = simple_multisearch(5, marked, rng=seed)
+        report = search.run()
+        assert report.found_mask().all()
+        for found, solutions in zip(report.found.tolist(), marked):
+            assert found in solutions
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_empty_searches_stay_unfound(self, seed):
+        search = simple_multisearch(5, [[1], [], [3]], rng=seed)
+        report = search.run()
+        assert report.found[0] == 1
+        assert report.found[1] == -1  # no solution exists: never "found"
+        assert report.found[2] == 3
+
+    def test_rounds_charged(self):
+        ledger = RoundLedger()
+        search = simple_multisearch(6, [[1], [2]], eval_rounds=4.0, rng=1)
+        report = search.run(ledger, phase="step3")
+        assert ledger.rounds("step3") == report.rounds
+        assert report.rounds == pytest.approx(report.oracle_calls * 4.0)
+
+    def test_schedule_controls_repetitions(self):
+        search = simple_multisearch(6, [[]], rng=0)
+        report = search.run(schedule=[2, 0, 1], early_stop=False)
+        assert report.repetitions == 3
+        # rounds = Σ (k_j + 1) · eval_rounds with eval_rounds = 1.
+        assert report.rounds == pytest.approx((2 + 1) + (0 + 1) + (1 + 1))
+
+    def test_early_stop_cuts_schedule(self):
+        # Single search over a domain where every item is marked: the first
+        # repetition must succeed and stop the loop.
+        search = simple_multisearch(3, [[0, 1, 2]], rng=2)
+        report = search.run(schedule=[1] * 50)
+        assert report.repetitions < 50
+
+
+class TestTypicality:
+    def test_no_beta_disables_machinery(self):
+        search = simple_multisearch(4, [[0]] * 10, beta=None)
+        assert search.typicality.all_assumptions_hold
+        assert math.isinf(search.typicality.beta)
+
+    def test_assumption_checks(self):
+        # m = 200, |X| = 4: domain_small needs 4 < 200/(36·log2(200)) ≈ 0.7
+        # → False; beta_large needs β > 8·200/4 = 400.
+        marked = [[0]] * 200
+        search = simple_multisearch(4, marked, beta=500.0)
+        rep = search.typicality
+        assert rep.beta_large_enough
+        assert not rep.domain_small_enough
+        assert rep.max_solution_load == 200
+
+    def test_solution_truncation(self):
+        # 10 searches all marking item 0 with β = 4 → budget β/2 = 2: only
+        # the first 2 keep their solution.
+        search = simple_multisearch(4, [[0]] * 10, beta=4.0)
+        assert not search.typicality.solutions_typical
+        assert search.typicality.truncated_entries == 8
+        kept = [m.size for m in search._marked_effective]
+        assert sum(kept) == 2
+
+    def test_truncated_searches_become_false_negatives(self):
+        search = simple_multisearch(4, [[0]] * 10, beta=4.0, rng=5)
+        report = search.run()
+        assert report.found_mask().sum() <= 2  # only the kept solutions findable
+
+    def test_typical_solutions_untouched(self):
+        marked = [[i % 4] for i in range(8)]  # load 2 per item
+        search = simple_multisearch(4, marked, beta=100.0)
+        assert search.typicality.solutions_typical
+        assert search.typicality.truncated_entries == 0
+
+
+class TestLemma5Bounds:
+    def test_bound_formula(self):
+        assert lemma5_truncated_mass_bound(4, 36) == pytest.approx(
+            4 * math.exp(-2 * 36 / (9 * 4))
+        )
+
+    def test_fidelity_accumulates_linearly(self):
+        one = theorem3_fidelity_bound(4, 360, 1)
+        five = theorem3_fidelity_bound(4, 360, 5)
+        assert five == pytest.approx(5 * one)
+
+    def test_fidelity_clamped(self):
+        assert theorem3_fidelity_bound(50, 10, 1000) == 1.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(QuantumSimulationError):
+            lemma5_truncated_mass_bound(0, 5)
+        with pytest.raises(QuantumSimulationError):
+            theorem3_fidelity_bound(4, 4, -1)
+
+
+class TestExactJointSimulation:
+    def test_untruncated_when_beta_large(self):
+        marked = [np.array([0]), np.array([1])]
+        ideal, truncated, dev = exact_joint_state_simulation(3, marked, beta=2, iterations=3)
+        assert dev == pytest.approx(0.0, abs=1e-12)
+        assert np.allclose(ideal, truncated)
+
+    def test_ideal_state_is_product_of_trackers(self):
+        # With the ideal oracle the joint state is the tensor product of the
+        # per-search Grover states; success probability per coordinate must
+        # match the closed form.
+        from repro.util.mathutil import sin_squared_grover
+
+        marked = [np.array([0]), np.array([2])]
+        num_items, iterations = 4, 1
+        ideal, _, _ = exact_joint_state_simulation(
+            num_items, marked, beta=num_items, iterations=iterations
+        )
+        probs = np.abs(ideal) ** 2
+        marginal0 = probs.sum(axis=1)  # distribution of search 0's register
+        expected = sin_squared_grover(num_items, 1, iterations)
+        assert marginal0[0] == pytest.approx(expected)
+
+    def test_deviation_within_theorem3_bound_when_assumptions_hold(self):
+        # Small exact case: m = 6 searches over |X| = 2, β = 5 ⇒ the only
+        # atypical tuples have an item appearing ≥ 6 times.
+        marked = [np.array([0])] * 3 + [np.array([1])] * 3
+        ideal, truncated, dev = exact_joint_state_simulation(2, marked, beta=5, iterations=2)
+        bound = theorem3_fidelity_bound(2, 6, 2)
+        assert dev <= bound + 1e-9
+
+    def test_atypical_mass_below_lemma5_bound(self):
+        marked = [np.array([0])] * 4
+        ideal, _, _ = exact_joint_state_simulation(3, marked, beta=2, iterations=1)
+        mass = atypical_mass(ideal, beta=2)
+        assert mass <= lemma5_truncated_mass_bound(3, 4) + 1e-9
+
+    def test_rejects_huge_joint_space(self):
+        with pytest.raises(QuantumSimulationError):
+            exact_joint_state_simulation(100, [np.array([0])] * 8, beta=3, iterations=1)
+
+
+class TestSuccessRateTheorem3:
+    def test_high_success_with_typical_solutions(self):
+        # Theorem 3 promises ≥ 1 − 2/m²; statistically check a strong rate.
+        failures = 0
+        trials = 30
+        for seed in range(trials):
+            marked = [[seed % 5], [(seed + 2) % 5], [(seed + 3) % 5]]
+            search = simple_multisearch(5, marked, beta=1000.0, rng=seed)
+            report = search.run()
+            failures += int(not report.found_mask().all())
+        assert failures <= 1

@@ -1,0 +1,104 @@
+"""Additional multisearch behaviours: schedules, clamping, masses, rounds."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantumSimulationError
+from repro.quantum.amplitude import max_iterations
+from repro.quantum.multisearch import (
+    MultiSearch,
+    uniform_atypical_mass,
+)
+
+
+def make(num_items, marked_sets, **kwargs):
+    kwargs.setdefault("rng", 0)
+    return MultiSearch(
+        num_items, [np.asarray(m, dtype=np.int64) for m in marked_sets], **kwargs
+    )
+
+
+class TestSchedules:
+    def test_schedule_clamped_to_domain_cap(self):
+        # A schedule entry larger than the domain's iteration cap must be
+        # clamped, not crash nor overcharge beyond the clamp.
+        search = make(3, [[0]], eval_rounds=1.0)
+        cap = max_iterations(4)  # padded domain
+        report = search.run(schedule=[10_000], early_stop=False)
+        assert report.rounds == pytest.approx(cap + 1)
+
+    def test_zero_iteration_schedule(self):
+        # k = 0 still measures (the uniform superposition): p = t'/N'.
+        search = make(4, [[1]], rng=3)
+        report = search.run(schedule=[0] * 60, early_stop=True)
+        assert report.found[0] in (-1, 1)
+        # With 60 tries at p_real = 1/5 the search almost surely lands.
+        assert report.found[0] == 1
+
+    def test_empty_schedule_runs_nothing(self):
+        search = make(4, [[1]])
+        report = search.run(schedule=[])
+        assert report.repetitions == 0
+        assert report.rounds == 0.0
+        assert (report.found == -1).all()
+
+    def test_default_repetition_budget_formula(self):
+        search = make(4, [[0]] * 10, amplification=5.0)
+        expected = math.ceil(5.0 * math.log2(10))
+        assert search.max_repetitions() == expected
+
+
+class TestUniformAtypicalMass:
+    def test_zero_when_beta_at_least_m(self):
+        assert uniform_atypical_mass(4, 10, 10) == 0.0
+        assert uniform_atypical_mass(4, 10, 12) == 0.0
+
+    def test_monotone_in_beta(self):
+        masses = [uniform_atypical_mass(4, 40, beta) for beta in (5, 10, 20, 39)]
+        assert all(a >= b for a, b in zip(masses, masses[1:]))
+
+    def test_matches_monte_carlo(self):
+        # |X| = 3, m = 9, β = 4: estimate P[some item frequency > 4].
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 20_000
+        for _ in range(trials):
+            counts = np.bincount(rng.integers(0, 3, size=9), minlength=3)
+            hits += int((counts > 4).any())
+        empirical = hits / trials
+        bound = uniform_atypical_mass(3, 9, 4)
+        # Union bound: must upper-bound the truth, within ~3x slack.
+        assert empirical <= bound + 0.01
+        assert bound <= 3 * empirical + 0.05
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(QuantumSimulationError):
+            uniform_atypical_mass(0, 4, 2)
+
+
+class TestRoundsAndEarlyStop:
+    def test_rounds_are_schedule_cost_independent_of_success(self):
+        # Without early stop, two different instances with the same schedule
+        # charge identical rounds.
+        schedule = [1, 0, 2]  # within the cap ⌈π/4·√6⌉ = 2 of a 5+1 domain
+        a = make(5, [[0]], eval_rounds=2.0, rng=1)
+        b = make(5, [[]], eval_rounds=2.0, rng=2)
+        ra = a.run(schedule=schedule, early_stop=False)
+        rb = b.run(schedule=schedule, early_stop=False)
+        assert ra.rounds == rb.rounds == pytest.approx((2 + 1 + 3) * 2.0)
+
+    def test_found_values_are_marked_elements(self):
+        marked = [[2, 4], [1], [0, 3]]
+        search = make(5, marked, rng=7)
+        report = search.run()
+        for found, solutions in zip(report.found.tolist(), marked):
+            if found >= 0:
+                assert found in solutions
+
+    def test_no_beta_no_corruption(self):
+        search = make(4, [[0]] * 6, beta=None, rng=1)
+        report = search.run()
+        assert report.corrupted_repetitions == 0
+        assert report.fidelity_bound_max == 0.0

@@ -1,0 +1,100 @@
+"""Unit tests for the state-vector simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantumSimulationError
+from repro.quantum.statevector import StateVector
+
+
+class TestInitialization:
+    def test_starts_in_all_zero(self):
+        state = StateVector(3)
+        assert state.amplitudes[0] == 1.0
+        assert state.probabilities().sum() == pytest.approx(1.0)
+
+    def test_rejects_zero_qubits(self):
+        with pytest.raises(QuantumSimulationError):
+            StateVector(0)
+
+    def test_rejects_too_many_qubits(self):
+        with pytest.raises(QuantumSimulationError):
+            StateVector(64)
+
+
+class TestGates:
+    def test_hadamard_creates_uniform(self):
+        state = StateVector(3).h_all()
+        probs = state.probabilities()
+        assert np.allclose(probs, 1 / 8)
+
+    def test_hadamard_self_inverse(self):
+        state = StateVector(2).h(0).h(0)
+        assert state.probabilities()[0] == pytest.approx(1.0)
+
+    def test_x_flips_basis(self):
+        state = StateVector(2).x(1)
+        assert state.probabilities()[2] == pytest.approx(1.0)  # |10⟩
+
+    def test_x_on_qubit_zero(self):
+        state = StateVector(2).x(0)
+        assert state.probabilities()[1] == pytest.approx(1.0)  # |01⟩
+
+    def test_z_phase_only_visible_after_interference(self):
+        # HZH = X: phase gates compose into bit flips through Hadamards.
+        state = StateVector(1).h(0).z(0).h(0)
+        assert state.probabilities()[1] == pytest.approx(1.0)
+
+    def test_mcz_flips_only_all_ones(self):
+        state = StateVector(2).h_all().mcz()
+        amps = state.amplitudes
+        assert amps[3].real == pytest.approx(-0.5)
+        assert amps[0].real == pytest.approx(0.5)
+
+    def test_phase_flip_marks_selected_states(self):
+        state = StateVector(2).h_all().phase_flip([1, 2])
+        amps = state.amplitudes
+        assert amps[1].real == pytest.approx(-0.5)
+        assert amps[2].real == pytest.approx(-0.5)
+        assert amps[0].real == pytest.approx(0.5)
+
+    def test_phase_flip_empty_is_identity(self):
+        state = StateVector(2).h_all()
+        before = state.amplitudes.copy()
+        state.phase_flip([])
+        assert np.array_equal(state.amplitudes, before)
+
+    def test_phase_flip_out_of_range(self):
+        with pytest.raises(QuantumSimulationError):
+            StateVector(2).phase_flip([4])
+
+    def test_gate_out_of_range(self):
+        with pytest.raises(QuantumSimulationError):
+            StateVector(2).h(2)
+
+    def test_diffusion_preserves_uniform(self):
+        state = StateVector(3).h_all().diffusion()
+        assert np.allclose(state.probabilities(), 1 / 8)
+
+    def test_norm_preserved_by_all_gates(self):
+        state = StateVector(3).h_all().x(1).z(2).phase_flip([5]).diffusion()
+        assert state.norm() == pytest.approx(1.0)
+
+
+class TestMeasurement:
+    def test_measure_deterministic_state(self):
+        state = StateVector(2).x(0)
+        assert state.measure(rng=0) == 1
+
+    def test_measure_distribution(self):
+        state = StateVector(1).h(0)
+        rng = np.random.default_rng(0)
+        outcomes = [state.measure(rng) for _ in range(2000)]
+        frac = sum(outcomes) / len(outcomes)
+        assert 0.45 < frac < 0.55
+
+    def test_probability_of_subset(self):
+        state = StateVector(2).h_all()
+        assert state.probability_of([0, 3]) == pytest.approx(0.5)

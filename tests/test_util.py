@@ -1,0 +1,139 @@
+"""Unit tests for repro.util (rng plumbing and math helpers)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.mathutil import (
+    ceil_div,
+    ceil_log2,
+    guarded_log,
+    is_power_of_two,
+    next_power_of_two,
+    sin_squared_grover,
+)
+from repro.util.rng import ensure_rng, spawn_rng
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(7).integers(0, 1000, size=10)
+        b = ensure_rng(7).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_seed(self):
+        assert isinstance(ensure_rng(np.int64(5)), np.random.Generator)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_spawn_is_independent(self):
+        parent = ensure_rng(3)
+        child = spawn_rng(parent)
+        # Child's stream differs from a fresh parent's continued stream.
+        assert not np.array_equal(
+            child.integers(0, 10**9, size=8),
+            ensure_rng(3).integers(0, 10**9, size=8),
+        )
+
+    def test_spawn_advances_parent_deterministically(self):
+        p1, p2 = ensure_rng(3), ensure_rng(3)
+        c1, c2 = spawn_rng(p1), spawn_rng(p2)
+        assert np.array_equal(
+            c1.integers(0, 10**9, size=4), c2.integers(0, 10**9, size=4)
+        )
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(12, 4) == 3
+
+    def test_rounds_up(self):
+        assert ceil_div(13, 4) == 4
+
+    def test_zero_dividend(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_rejects_zero_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    def test_rejects_negative_dividend(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+
+class TestGuardedLog:
+    def test_matches_log2_above_two(self):
+        assert guarded_log(16) == 4.0
+
+    def test_clamped_below(self):
+        assert guarded_log(1) == 1.0
+        assert guarded_log(2) == 1.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            guarded_log(0)
+
+
+class TestPowersOfTwo:
+    def test_ceil_log2(self):
+        assert ceil_log2(1) == 0
+        assert ceil_log2(2) == 1
+        assert ceil_log2(3) == 2
+        assert ceil_log2(16) == 4
+        assert ceil_log2(17) == 5
+
+    def test_ceil_log2_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(6)
+        assert not is_power_of_two(-4)
+
+    def test_next_power_of_two(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(5) == 8
+        assert next_power_of_two(8) == 8
+
+
+class TestGroverFormula:
+    def test_zero_solutions_is_zero(self):
+        assert sin_squared_grover(8, 0, 3) == 0.0
+
+    def test_all_solutions_is_one(self):
+        assert sin_squared_grover(8, 8, 0) == pytest.approx(1.0)
+
+    def test_zero_iterations_gives_t_over_n(self):
+        assert sin_squared_grover(100, 7, 0) == pytest.approx(0.07)
+
+    def test_quarter_fraction_one_iteration_is_certain(self):
+        # t/N = 1/4 ⇒ θ = π/6 ⇒ sin²(3θ) = sin²(π/2) = 1: the textbook
+        # exact case.
+        assert sin_squared_grover(4, 1, 1) == pytest.approx(1.0)
+
+    def test_optimal_iterations_nearly_one(self):
+        n = 10_000
+        k = int(math.floor(math.pi / 4 * math.sqrt(n)))
+        assert sin_squared_grover(n, 1, k) > 0.999
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            sin_squared_grover(0, 0, 0)
+        with pytest.raises(ValueError):
+            sin_squared_grover(4, 5, 0)
+        with pytest.raises(ValueError):
+            sin_squared_grover(4, 1, -1)
