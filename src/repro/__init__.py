@@ -20,6 +20,7 @@ Quickstart::
     print(f"solved in {report.rounds:.0f} simulated rounds")
 """
 
+from repro._version import __version__
 from repro.analysis import (
     ApspValidation,
     RoundModel,
@@ -68,12 +69,14 @@ from repro.errors import (
     BandwidthExceededError,
     ConvergenceError,
     GraphError,
+    JobFailedError,
     NegativeCycleError,
     NetworkError,
     PromiseViolationError,
     ProtocolAbortedError,
     QuantumSimulationError,
     ReproError,
+    ServiceError,
 )
 from repro.graphs import (
     INF,
@@ -105,8 +108,20 @@ from repro.quantum import (
     MultiSearch,
     StateVector,
 )
-
-__version__ = "1.0.0"
+from repro.service import (
+    ClosureArtifact,
+    JobEngine,
+    JobState,
+    QueryEngine,
+    QueryRequest,
+    QueryResult,
+    ResultStore,
+    SolveOptions,
+    available_solvers,
+    graph_digest,
+    make_solver,
+    register_solver,
+)
 
 __all__ = [
     "__version__",
@@ -177,6 +192,19 @@ __all__ = [
     "validate_apsp",
     "validate_sssp",
     "ApspValidation",
+    # service
+    "ClosureArtifact",
+    "JobEngine",
+    "JobState",
+    "QueryEngine",
+    "QueryRequest",
+    "QueryResult",
+    "ResultStore",
+    "SolveOptions",
+    "available_solvers",
+    "graph_digest",
+    "make_solver",
+    "register_solver",
     # errors
     "ReproError",
     "GraphError",
@@ -187,4 +215,6 @@ __all__ = [
     "PromiseViolationError",
     "QuantumSimulationError",
     "ConvergenceError",
+    "ServiceError",
+    "JobFailedError",
 ]

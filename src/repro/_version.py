@@ -1,0 +1,8 @@
+"""Single source of the package version.
+
+Lives in its own leaf module so subsystems that stamp artifacts with the
+library version (e.g. :mod:`repro.service.store`) can import it without
+pulling in the whole :mod:`repro` namespace.
+"""
+
+__version__ = "1.1.0"

@@ -5,7 +5,12 @@ from repro.analysis.complexity import (
     fit_exponent,
 )
 from repro.analysis.report import format_table
-from repro.analysis.sweeps import SweepPoint, sweep_compute_pairs
+from repro.analysis.sweeps import (
+    EngineSweepPoint,
+    SweepPoint,
+    sweep_apsp_engine,
+    sweep_compute_pairs,
+)
 from repro.analysis.validation import ApspValidation, validate_apsp, validate_sssp
 
 __all__ = [
@@ -17,4 +22,6 @@ __all__ = [
     "validate_sssp",
     "SweepPoint",
     "sweep_compute_pairs",
+    "EngineSweepPoint",
+    "sweep_apsp_engine",
 ]

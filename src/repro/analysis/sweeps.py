@@ -19,11 +19,18 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.analysis.complexity import fit_exponent
+from repro.baselines.floyd_warshall import floyd_warshall
 from repro.core.compute_pairs import compute_pairs
 from repro.core.constants import SIMULATION, PaperConstants
 from repro.core.problems import FindEdgesInstance
-from repro.graphs.generators import random_undirected_graph
+from repro.graphs.generators import (
+    random_digraph_no_negative_cycle,
+    random_undirected_graph,
+)
 from repro.graphs.workloads import make_workload
+from repro.service.jobs import JobEngine
+from repro.service.solvers import SolveOptions
+from repro.service.store import ResultStore
 from repro.util.rng import RngLike, ensure_rng, spawn_rng
 
 
@@ -85,6 +92,79 @@ def sweep_compute_pairs(
                 false_positives=len(solution.pairs - truth),
                 false_negatives=len(truth - solution.pairs),
                 details=dict(solution.details),
+            )
+        )
+    return points
+
+
+@dataclass
+class EngineSweepPoint:
+    """One APSP solve of an engine-backed sweep."""
+
+    size: int
+    seed: int
+    rounds: float
+    exact: bool
+    digest: str
+    cache_hit: bool
+    worker_pid: Optional[int] = None
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.size, self.seed)
+
+
+def sweep_apsp_engine(
+    sizes: Sequence[int],
+    *,
+    seeds: Sequence[int] = (0,),
+    solver: str = "reference",
+    options: Optional[SolveOptions] = None,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
+    density: float = 0.4,
+    max_weight: int = 8,
+) -> list[EngineSweepPoint]:
+    """Run a ``sizes × seeds`` APSP sweep through the job engine.
+
+    Unlike :func:`sweep_compute_pairs`, which measures one protocol call at
+    a time in-process, this driver submits every ``(size, seed)`` instance
+    as a job and drains them through :class:`~repro.service.jobs.JobEngine`
+    — synchronously for ``workers=1``, across a process pool otherwise —
+    so a sweep's points run in parallel and repeated sweeps over the same
+    ``store`` are answered from cache.  Each point is verified against
+    Floyd–Warshall (``exact``).
+    """
+    engine = JobEngine(
+        store=store if store is not None else ResultStore(),
+        solver=solver,
+        options=options if options is not None else SolveOptions(),
+    )
+    submissions = []
+    for size in sizes:
+        for seed in seeds:
+            graph = random_digraph_no_negative_cycle(
+                size, density=density, max_weight=max_weight, rng=seed
+            )
+            submissions.append((size, seed, graph, engine.submit(graph)))
+    if workers > 1:
+        engine.run_pending_parallel(max_workers=workers)
+    else:
+        engine.run_pending()
+    points = []
+    for size, seed, graph, job in submissions:
+        artifact = job.artifact if job.artifact is not None else engine.result(job.job_id)
+        points.append(
+            EngineSweepPoint(
+                size=size,
+                seed=seed,
+                rounds=artifact.rounds,
+                exact=bool(
+                    np.array_equal(artifact.distances, floyd_warshall(graph))
+                ),
+                digest=job.digest,
+                cache_hit=job.cache_hit,
+                worker_pid=job.worker_pid,
             )
         )
     return points

@@ -10,6 +10,10 @@ Commands
 ``generate``    write a random instance to a graph file.
 ``validate``    certificate-check a distance matrix against a graph.
 ``model``       print the analytic round model's predictions for an n sweep.
+``query``       answer dist/path/diameter queries from a cached closure
+                through the service layer.
+``serve-batch`` solve a batch of graphs as jobs, optionally across worker
+                processes, against a shared result cache.
 
 Graph files use the formats of :mod:`repro.graphs.io` (``.npz`` or edge-list
 text, selected by extension).
@@ -18,28 +22,29 @@ text, selected by extension).
 from __future__ import annotations
 
 import argparse
-import pathlib
 import sys
 
 import numpy as np
 
 import repro
 from repro.graphs import io as graph_io
+from repro.service import (
+    JobEngine,
+    JobState,
+    QueryEngine,
+    QueryRequest,
+    ResultStore,
+    SolveOptions,
+    available_solvers,
+)
 
 
 def _load_graph(path: str):
-    suffix = pathlib.Path(path).suffix
-    if suffix == ".npz":
-        return graph_io.load_npz(path)
-    return graph_io.load_edge_list(path)
+    return graph_io.load_graph(path)
 
 
 def _save_graph(graph, path: str) -> None:
-    suffix = pathlib.Path(path).suffix
-    if suffix == ".npz":
-        graph_io.save_npz(graph, path)
-    else:
-        graph_io.save_edge_list(graph, path)
+    graph_io.save_graph(graph, path)
 
 
 def _make_backend(name: str, scale: float, seed: int):
@@ -178,11 +183,123 @@ def _cmd_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_store(args: argparse.Namespace) -> ResultStore:
+    cache_dir = getattr(args, "cache_dir", None)
+    return ResultStore(cache_dir=cache_dir) if cache_dir else ResultStore()
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    if not isinstance(graph, repro.WeightedDigraph):
+        raise SystemExit("query expects a directed graph")
+    engine = QueryEngine(
+        solver=args.solver,
+        options=SolveOptions(scale=args.scale, seed=args.seed),
+        store=_make_store(args),
+    )
+    requests = [QueryRequest("dist", u, v) for u, v in args.dist or []]
+    requests += [QueryRequest("path", u, v) for u, v in args.path or []]
+    if args.negative_cycle:
+        requests.append(QueryRequest("negative-cycle"))
+    if args.diameter or not requests:
+        requests.append(QueryRequest("diameter"))
+    try:
+        results = engine.query_batch(graph, requests)
+    except (repro.GraphError, repro.ServiceError) as error:
+        raise SystemExit(f"query failed: {error}")
+    # A batch answered on a negative-cycle graph carries None for every
+    # dist/path/diameter request — distances are undefined there.
+    negative = any(
+        r.request.kind == "negative-cycle" and r.value for r in results
+    )
+    for result in results:
+        req = result.request
+        if negative and result.value is None:
+            label = req.kind if req.u < 0 else f"{req.kind} {req.u} -> {req.v}"
+            print(f"{label}: undefined (graph has a negative cycle)")
+        elif req.kind == "dist":
+            print(f"dist {req.u} -> {req.v}: {result.value:g}")
+        elif req.kind == "path":
+            rendered = (
+                " -> ".join(map(str, result.value))
+                if result.value is not None
+                else "unreachable"
+            )
+            print(f"path {req.u} -> {req.v}: {rendered}")
+        else:
+            print(f"{req.kind}: {result.value}")
+    stats = engine.store.stats
+    print(
+        f"served {len(results)} queries with {engine.solver_invocations} solve(s) "
+        f"[cache hits={stats.hits} misses={stats.misses}]"
+    )
+    return 0
+
+
+def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    graphs = []
+    labels = []
+    if args.graphs:
+        for path in args.graphs:
+            graph = _load_graph(path)
+            if not isinstance(graph, repro.WeightedDigraph):
+                raise SystemExit(f"{path}: serve-batch expects directed graphs")
+            graphs.append(graph)
+            labels.append(path)
+    else:
+        for index in range(args.count):
+            graphs.append(
+                repro.random_digraph_no_negative_cycle(
+                    args.n,
+                    density=args.density,
+                    max_weight=args.max_weight,
+                    rng=args.seed + index,
+                )
+            )
+            labels.append(f"generated[seed={args.seed + index}]")
+    engine = JobEngine(
+        store=_make_store(args),
+        solver=args.solver,
+        options=SolveOptions(scale=args.scale, seed=args.seed),
+    )
+    jobs = [engine.submit(graph) for graph in graphs]
+    if args.workers > 1:
+        engine.run_pending_parallel(max_workers=args.workers)
+    else:
+        engine.run_pending()
+    failed = 0
+    for label, job in zip(labels, jobs):
+        line = (
+            f"{job.job_id} {job.digest[:12]} {job.state.value:>7}"
+            f" solver={job.solver}"
+        )
+        if job.state is JobState.DONE:
+            line += (
+                f" rounds={job.artifact.rounds:,.0f}"
+                f" cache_hit={job.cache_hit}"
+            )
+            if job.worker_pid is not None:
+                line += f" pid={job.worker_pid}"
+        elif job.state is JobState.FAILED:
+            failed += 1
+            line += f" error={job.error_type}: {job.error}"
+        print(f"{line}  ({label})")
+    stats = engine.store.stats
+    print(
+        f"{len(jobs)} job(s), {failed} failed, {engine.solver_invocations} solve(s) "
+        f"[cache hits={stats.hits} misses={stats.misses}]"
+    )
+    return 0 if failed == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Quantum distributed APSP in the CONGEST-CLIQUE model "
         "(Izumi & Le Gall, PODC 2019) — reproduction CLI.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {repro.__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -231,6 +348,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument("--graph", required=True)
     p_val.add_argument("--distances", required=True, help=".npz with 'distances'")
     p_val.set_defaults(func=_cmd_validate)
+
+    def add_service_common(p):
+        p.add_argument(
+            "--solver",
+            choices=available_solvers(),
+            default="reference",
+            help="registered solver used on cache misses",
+        )
+        p.add_argument("--scale", type=float, default=0.5)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--cache-dir", help="persist closures as .npz under this dir")
+
+    p_query = sub.add_parser(
+        "query", help="answer point queries from a cached closure"
+    )
+    p_query.add_argument("--graph", required=True, help="graph file (.npz or edge list)")
+    add_service_common(p_query)
+    p_query.add_argument(
+        "--dist", nargs=2, type=int, metavar=("U", "V"), action="append",
+        help="distance query (repeatable)",
+    )
+    p_query.add_argument(
+        "--path", nargs=2, type=int, metavar=("U", "V"), action="append",
+        help="shortest-path query (repeatable)",
+    )
+    p_query.add_argument("--diameter", action="store_true")
+    p_query.add_argument("--negative-cycle", action="store_true")
+    p_query.set_defaults(func=_cmd_query)
+
+    p_serve = sub.add_parser(
+        "serve-batch", help="solve a batch of graphs as (optionally parallel) jobs"
+    )
+    p_serve.add_argument(
+        "--graphs", nargs="+", help="graph files; omit to generate instances"
+    )
+    add_service_common(p_serve)
+    p_serve.add_argument("--count", type=int, default=4, help="generated-batch size")
+    p_serve.add_argument("--n", type=int, default=12)
+    p_serve.add_argument("--density", type=float, default=0.5)
+    p_serve.add_argument("--max-weight", type=int, default=8)
+    p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width; 1 runs jobs synchronously",
+    )
+    p_serve.set_defaults(func=_cmd_serve_batch)
 
     p_model = sub.add_parser("model", help="analytic round-model table")
     p_model.add_argument("--min-exp", type=int, default=4)

@@ -66,3 +66,27 @@ class ConvergenceError(ReproError):
     """Raised when an iterative procedure (binary search of Proposition 2,
     retry loops around randomized protocols) exhausts its iteration budget
     without reaching its goal."""
+
+
+class ServiceError(ReproError):
+    """Raised on misuse of the serving layer (:mod:`repro.service`)."""
+
+
+class JobFailedError(ServiceError):
+    """Raised when awaiting a job whose solve failed.
+
+    Carries the original failure as ``error_type`` (the exception class
+    name, preserved across process-pool workers) and ``detail`` (its
+    message) so callers can branch on the cause — e.g. the query engine
+    maps ``NegativeCycleError`` failures to a ``True`` negative-cycle
+    answer.
+    """
+
+    def __init__(self, job_id: str, error_type: str, detail: str = "") -> None:
+        self.job_id = job_id
+        self.error_type = error_type
+        self.detail = detail
+        message = f"job {job_id} failed with {error_type}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)

@@ -26,6 +26,42 @@ from repro.graphs.digraph import INF, UndirectedWeightedGraph, WeightedDigraph
 AnyGraph = Union[WeightedDigraph, UndirectedWeightedGraph]
 PathLike = Union[str, pathlib.Path]
 
+#: Extensions accepted by :func:`load_graph` / :func:`save_graph`.
+EDGE_LIST_EXTENSIONS = (".txt", ".edges", ".edgelist")
+SUPPORTED_EXTENSIONS = (".npz",) + EDGE_LIST_EXTENSIONS
+
+
+def _format_for(path: PathLike) -> str:
+    suffix = pathlib.Path(path).suffix.lower()
+    if suffix == ".npz":
+        return "npz"
+    if suffix in EDGE_LIST_EXTENSIONS:
+        return "edge-list"
+    raise ValueError(
+        f"unsupported graph file extension {suffix!r} in {path}; "
+        f"supported extensions: {', '.join(SUPPORTED_EXTENSIONS)}"
+    )
+
+
+def load_graph(path: PathLike) -> AnyGraph:
+    """Load a graph, selecting the format by file extension.
+
+    Raises :class:`ValueError` for unrecognized extensions rather than
+    guessing a format.
+    """
+    if _format_for(path) == "npz":
+        return load_npz(path)
+    return load_edge_list(path)
+
+
+def save_graph(graph: AnyGraph, path: PathLike) -> None:
+    """Save a graph, selecting the format by file extension (see
+    :func:`load_graph`)."""
+    if _format_for(path) == "npz":
+        save_npz(graph, path)
+    else:
+        save_edge_list(graph, path)
+
 
 def save_npz(graph: AnyGraph, path: PathLike) -> None:
     """Write a graph to an ``.npz`` archive."""

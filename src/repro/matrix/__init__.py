@@ -14,7 +14,12 @@ from repro.matrix.semiring import (
     minplus_closure,
     minplus_power,
 )
-from repro.matrix.apsp import apsp_distances, apsp_via_product, detect_negative_cycle
+from repro.matrix.apsp import (
+    apsp_distances,
+    apsp_via_product,
+    batch_distance_lookup,
+    detect_negative_cycle,
+)
 from repro.matrix.witness import (
     path_weight,
     reconstruct_path,
@@ -33,5 +38,6 @@ __all__ = [
     "is_minplus_matrix",
     "apsp_distances",
     "apsp_via_product",
+    "batch_distance_lookup",
     "detect_negative_cycle",
 ]

@@ -15,7 +15,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.errors import NegativeCycleError
+from repro.errors import GraphError, NegativeCycleError
 from repro.graphs.digraph import WeightedDigraph
 from repro.matrix.semiring import distance_product
 
@@ -67,3 +67,25 @@ def apsp_distances(graph: WeightedDigraph) -> np.ndarray:
     if detect_negative_cycle(dist):
         raise NegativeCycleError("input graph contains a negative cycle")
     return dist
+
+
+def batch_distance_lookup(
+    distances: np.ndarray, pairs: "np.ndarray | list[tuple[int, int]]"
+) -> np.ndarray:
+    """Vectorized ``distances[u, v]`` gather for a batch of ``(u, v)`` pairs.
+
+    The serving layer's hot path: answering a large batch of point queries
+    against an already-computed closure is one fancy-indexing gather rather
+    than a Python loop.  Pairs out of range raise :class:`GraphError`
+    (negative indices would silently wrap).
+    """
+    closure = np.asarray(distances)
+    index = np.asarray(pairs, dtype=np.int64)
+    if index.size == 0:
+        return np.empty(0, dtype=closure.dtype)
+    if index.ndim != 2 or index.shape[1] != 2:
+        raise GraphError(f"pairs must have shape (k, 2), got {index.shape}")
+    n = closure.shape[0]
+    if index.min() < 0 or index.max() >= n:
+        raise GraphError(f"query pair out of range for n={n}")
+    return closure[index[:, 0], index[:, 1]]

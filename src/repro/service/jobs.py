@@ -1,0 +1,264 @@
+"""The job engine: submit/poll/await APSP solves with a state machine.
+
+Every solve is a :class:`Job` walking ``PENDING → RUNNING → DONE/FAILED``.
+Submission is cheap: the engine digests the graph, consults the
+:class:`~repro.service.store.ResultStore`, and completes the job
+immediately on a cache hit (``cache_hit=True``, no solver invoked).
+Pending jobs run either synchronously (:meth:`JobEngine.run_pending`) or
+across a ``ProcessPoolExecutor`` (:meth:`JobEngine.run_pending_parallel`)
+for multi-graph batches.
+
+Worker hygiene: the worker function never lets an exception escape — it
+returns an error payload instead, so a solver raising (say)
+:class:`~repro.errors.NegativeCycleError` yields a ``FAILED`` job with the
+error type preserved rather than poisoning the pool (some library
+exceptions have non-default constructors and would not survive pickling
+back through the executor).  Each payload also records the worker PID, so
+callers can verify that a batch actually spread across processes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import JobFailedError
+from repro.graphs.digraph import WeightedDigraph
+from repro.matrix.witness import successor_matrix
+from repro.service.hashing import graph_digest
+from repro.service.solvers import SolveOptions, make_solver
+from repro.service.store import ClosureArtifact, ResultStore, artifact_key
+
+
+class JobState(Enum):
+    """Lifecycle of a submitted solve."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One submitted APSP instance and its progress."""
+
+    job_id: str
+    digest: str
+    solver: str
+    options: SolveOptions
+    state: JobState = JobState.PENDING
+    artifact: Optional[ClosureArtifact] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    cache_hit: bool = False
+    worker_pid: Optional[int] = None
+    duration_s: float = 0.0
+
+
+def _solve_in_worker(
+    weights: np.ndarray, solver_name: str, options: SolveOptions
+) -> dict:
+    """Solve one instance; always returns a payload, never raises.
+
+    Top-level (picklable) so it runs identically in-process and inside
+    ``ProcessPoolExecutor`` workers.
+    """
+    started = time.perf_counter()
+    try:
+        graph = WeightedDigraph(weights)
+        outcome = make_solver(solver_name, options).solve(graph)
+        successors = successor_matrix(graph.apsp_matrix(), outcome.distances)
+        return {
+            "ok": True,
+            "distances": outcome.distances,
+            "successors": successors,
+            "rounds": float(outcome.rounds),
+            "pid": os.getpid(),
+            "duration_s": time.perf_counter() - started,
+        }
+    except Exception as error:  # noqa: BLE001 — the job ledger is the handler
+        return {
+            "ok": False,
+            "error_type": type(error).__name__,
+            "error": str(error),
+            "pid": os.getpid(),
+            "duration_s": time.perf_counter() - started,
+        }
+
+
+class JobEngine:
+    """Submit, execute, and await APSP jobs against a shared result store.
+
+    Parameters
+    ----------
+    store:
+        Shared :class:`ResultStore` (a fresh in-memory one by default).
+    solver / options:
+        Defaults applied to submissions that do not override them.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        *,
+        solver: str = "reference",
+        options: Optional[SolveOptions] = None,
+        max_history: int = 1024,
+    ) -> None:
+        self.store = store if store is not None else ResultStore()
+        self.default_solver = solver
+        self.default_options = options if options is not None else SolveOptions()
+        self.max_history = max_history
+        self.solver_invocations = 0
+        self._jobs: dict[str, Job] = {}
+        self._graphs: dict[str, WeightedDigraph] = {}
+        self._ids = itertools.count(1)
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        graph: WeightedDigraph,
+        *,
+        solver: Optional[str] = None,
+        options: Optional[SolveOptions] = None,
+    ) -> Job:
+        """Register a solve.  Returns the job — already ``DONE`` (with
+        ``cache_hit=True``) when the store holds this graph's closure *for
+        this solver*.
+
+        Cache-hit jobs are complete on return and are **not** retained in
+        the engine's ledger (their artifact is on the returned object), so
+        a long-lived engine serving cached traffic does not accumulate job
+        records; solved jobs are additionally trimmed to ``max_history``.
+        """
+        if not isinstance(graph, WeightedDigraph):
+            raise TypeError("the job engine solves WeightedDigraph instances")
+        job = Job(
+            job_id=f"job-{next(self._ids)}",
+            digest=graph_digest(graph),
+            solver=solver if solver is not None else self.default_solver,
+            options=options if options is not None else self.default_options,
+        )
+        cached = self.store.get(artifact_key(job.digest, job.solver))
+        if cached is not None:
+            job.state = JobState.DONE
+            job.artifact = cached
+            job.cache_hit = True
+            return job
+        self._jobs[job.job_id] = job
+        self._graphs[job.job_id] = graph
+        self._trim_history()
+        return job
+
+    def _trim_history(self) -> None:
+        if len(self._jobs) <= self.max_history:
+            return
+        for job_id in list(self._jobs):
+            if len(self._jobs) <= self.max_history:
+                break
+            if self._jobs[job_id].state in (JobState.DONE, JobState.FAILED):
+                del self._jobs[job_id]
+
+    # -- inspection ----------------------------------------------------------
+
+    def job(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise KeyError(f"unknown job {job_id!r}") from None
+
+    def poll(self, job_id: str) -> JobState:
+        """Current state of a job."""
+        return self.job(job_id).state
+
+    def jobs(self) -> list[Job]:
+        """All jobs in submission order."""
+        return list(self._jobs.values())
+
+    def pending(self) -> list[Job]:
+        return [job for job in self._jobs.values() if job.state is JobState.PENDING]
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, job_id: str) -> Job:
+        """Execute one pending job synchronously in this process."""
+        job = self.job(job_id)
+        if job.state is not JobState.PENDING:
+            return job
+        graph = self._graphs.pop(job.job_id)
+        job.state = JobState.RUNNING
+        self.solver_invocations += 1
+        payload = _solve_in_worker(graph.weights, job.solver, job.options)
+        self._finish(job, payload)
+        return job
+
+    def run_pending(self) -> list[Job]:
+        """Drain the pending queue synchronously; returns the jobs run."""
+        ran = [self.run(job.job_id) for job in self.pending()]
+        return ran
+
+    def run_pending_parallel(self, max_workers: int = 2) -> list[Job]:
+        """Drain the pending queue across a process pool.
+
+        Jobs are dispatched in submission order; a failed solve marks its
+        job ``FAILED`` and leaves the pool (and the other jobs) intact.
+        """
+        todo = self.pending()
+        if not todo:
+            return []
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {}
+            for job in todo:
+                graph = self._graphs.pop(job.job_id)
+                job.state = JobState.RUNNING
+                self.solver_invocations += 1
+                futures[job.job_id] = pool.submit(
+                    _solve_in_worker, graph.weights, job.solver, job.options
+                )
+            for job in todo:
+                self._finish(job, futures[job.job_id].result())
+        return todo
+
+    def result(self, job_id: str) -> ClosureArtifact:
+        """The job's artifact; runs the job now if still pending.
+
+        Raises :class:`JobFailedError` for ``FAILED`` jobs.
+        """
+        job = self.job(job_id)
+        if job.state is JobState.PENDING:
+            job = self.run(job_id)
+        if job.state is JobState.FAILED:
+            raise JobFailedError(job.job_id, job.error_type or "Exception",
+                                 job.error or "")
+        assert job.artifact is not None
+        return job.artifact
+
+    def _finish(self, job: Job, payload: dict) -> None:
+        job.worker_pid = payload.get("pid")
+        job.duration_s = float(payload.get("duration_s", 0.0))
+        if payload["ok"]:
+            artifact = ClosureArtifact(
+                digest=job.digest,
+                distances=payload["distances"],
+                successors=payload["successors"],
+                rounds=payload["rounds"],
+                solver=job.solver,
+            )
+            self.store.put(artifact)
+            job.artifact = artifact
+            job.state = JobState.DONE
+        else:
+            job.error = payload["error"]
+            job.error_type = payload["error_type"]
+            job.state = JobState.FAILED

@@ -1,0 +1,180 @@
+"""The query engine: one solve amortized over arbitrarily many queries.
+
+:class:`QueryEngine` is the serving facade.  ``ensure_solved`` resolves a
+graph to its :class:`~repro.service.store.ClosureArtifact` — through the
+result store when possible, through a job otherwise — and the point-query
+methods (``dist``, ``path``, ``diameter``, ``has_negative_cycle``) plus the
+batched :meth:`QueryEngine.query_batch` answer everything from the cached
+closure and successor matrix.  A million ``dist(u, v)`` calls cost one
+solve; the engine's ``solver_invocations`` counter proves it.
+
+Batch requests are plain :class:`QueryRequest` records so they can be
+read from files, built by the CLI, or constructed programmatically; batched
+``dist`` lookups are answered with one vectorized gather
+(:func:`repro.matrix.apsp.batch_distance_lookup`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import JobFailedError, ServiceError
+from repro.graphs.digraph import WeightedDigraph
+from repro.matrix.apsp import batch_distance_lookup
+from repro.matrix.witness import reconstruct_path
+from repro.service.jobs import JobEngine
+from repro.service.solvers import SolveOptions
+from repro.service.store import ClosureArtifact, ResultStore
+
+#: Request kinds understood by :meth:`QueryEngine.query_batch`.
+QUERY_KINDS = ("dist", "path", "diameter", "negative-cycle")
+
+QueryValue = Union[float, bool, None, "list[int]"]
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One point query.  ``u``/``v`` are only meaningful for ``dist``/``path``."""
+
+    kind: str
+    u: int = -1
+    v: int = -1
+
+    def __post_init__(self) -> None:
+        if self.kind not in QUERY_KINDS:
+            raise ServiceError(
+                f"unknown query kind {self.kind!r}; supported: {', '.join(QUERY_KINDS)}"
+            )
+
+
+@dataclass
+class QueryResult:
+    """The answer to one :class:`QueryRequest`."""
+
+    request: QueryRequest
+    value: QueryValue
+
+
+class QueryEngine:
+    """Answer distance/path/diameter queries from cached closures.
+
+    Parameters
+    ----------
+    solver / options:
+        Which registered solver computes closures on cache misses.
+    store:
+        Shared :class:`ResultStore`; pass one with a ``cache_dir`` for
+        cross-process persistence.
+    """
+
+    def __init__(
+        self,
+        *,
+        solver: str = "reference",
+        options: Optional[SolveOptions] = None,
+        store: Optional[ResultStore] = None,
+    ) -> None:
+        self.engine = JobEngine(store=store, solver=solver, options=options)
+
+    @property
+    def store(self) -> ResultStore:
+        return self.engine.store
+
+    @property
+    def solver_invocations(self) -> int:
+        """How many times a solver actually ran (cache hits excluded)."""
+        return self.engine.solver_invocations
+
+    # -- resolution ----------------------------------------------------------
+
+    def ensure_solved(self, graph: WeightedDigraph) -> ClosureArtifact:
+        """The graph's closure artifact, solving at most once per content."""
+        job = self.engine.submit(graph)
+        if job.artifact is not None:  # cache hit: complete, not in the ledger
+            return job.artifact
+        return self.engine.result(job.job_id)
+
+    # -- point queries -------------------------------------------------------
+
+    def dist(self, graph: WeightedDigraph, u: int, v: int) -> float:
+        """Shortest-path distance ``u → v`` (``inf`` when unreachable)."""
+        artifact = self.ensure_solved(graph)
+        self._check_endpoint(artifact, u)
+        self._check_endpoint(artifact, v)
+        return float(artifact.distances[u, v])
+
+    def path(self, graph: WeightedDigraph, u: int, v: int) -> Optional[list[int]]:
+        """Vertex sequence of a shortest ``u → v`` path (``None`` when
+        unreachable)."""
+        artifact = self.ensure_solved(graph)
+        return reconstruct_path(artifact.successors, u, v)
+
+    def diameter(self, graph: WeightedDigraph) -> float:
+        """Largest pairwise distance (``inf`` when not strongly connected)."""
+        artifact = self.ensure_solved(graph)
+        return float(artifact.distances.max())
+
+    def has_negative_cycle(self, graph: WeightedDigraph) -> bool:
+        """Whether the graph contains a negative cycle.
+
+        A graph with a negative cycle has no distance closure, so nothing
+        is cached for it; the answer comes from the solver's
+        ``NegativeCycleError`` failure.
+        """
+        try:
+            self.ensure_solved(graph)
+        except JobFailedError as error:
+            if error.error_type == "NegativeCycleError":
+                return True
+            raise
+        return False
+
+    # -- batched queries -----------------------------------------------------
+
+    def query_batch(
+        self, graph: WeightedDigraph, requests: Sequence[QueryRequest]
+    ) -> list[QueryResult]:
+        """Answer a batch of requests against one resolved closure.
+
+        ``dist`` requests are gathered with a single vectorized lookup;
+        every request is answered in input order.
+        """
+        if not requests:
+            return []
+        if any(req.kind == "negative-cycle" for req in requests):
+            if self.has_negative_cycle(graph):
+                return [
+                    QueryResult(req, True if req.kind == "negative-cycle" else None)
+                    for req in requests
+                ]
+        artifact = self.ensure_solved(graph)
+        dist_indices = [i for i, req in enumerate(requests) if req.kind == "dist"]
+        dist_values: np.ndarray = np.empty(0)
+        if dist_indices:
+            pairs = [(requests[i].u, requests[i].v) for i in dist_indices]
+            dist_values = batch_distance_lookup(artifact.distances, pairs)
+        dist_cursor = 0
+        results: list[QueryResult] = []
+        for req in requests:
+            if req.kind == "dist":
+                results.append(QueryResult(req, float(dist_values[dist_cursor])))
+                dist_cursor += 1
+            elif req.kind == "path":
+                results.append(
+                    QueryResult(req, reconstruct_path(artifact.successors, req.u, req.v))
+                )
+            elif req.kind == "diameter":
+                results.append(QueryResult(req, float(artifact.distances.max())))
+            else:  # negative-cycle, and ensure_solved succeeded
+                results.append(QueryResult(req, False))
+        return results
+
+    @staticmethod
+    def _check_endpoint(artifact: ClosureArtifact, vertex: int) -> None:
+        if not 0 <= vertex < artifact.num_vertices:
+            raise ServiceError(
+                f"vertex {vertex} out of range for n={artifact.num_vertices}"
+            )

@@ -1,0 +1,250 @@
+"""The solver registry: every APSP implementation behind one protocol.
+
+The library grew three ways to compute a distance closure — the full
+quantum pipeline (:class:`~repro.core.apsp_solver.QuantumAPSP` over
+:class:`~repro.core.find_edges.QuantumFindEdges`), the Grover-free
+classical pipeline, and the centralized Floyd–Warshall oracle — each with
+its own constructor signature.  The service layer needs to pick one by
+name, in-process or inside a worker process, so this module flattens them
+behind a single :class:`Solver` protocol with declared
+:class:`SolverCapabilities` and a string-keyed registry.
+
+Registering a new solver is one call::
+
+    register_solver(
+        "my-solver",
+        lambda options: MySolver(...),
+        capabilities=SolverCapabilities(rounds_accounted=False),
+    )
+
+after which ``make_solver("my-solver")`` works everywhere the built-ins do
+(CLI ``--solver`` flags, job submission, sweep drivers).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.baselines.classical_search import GroverFreeFindEdges
+from repro.baselines.floyd_warshall import floyd_warshall
+from repro.core.apsp_solver import QuantumAPSP
+from repro.core.constants import PaperConstants
+from repro.core.find_edges import QuantumFindEdges, ReferenceFindEdges
+from repro.graphs.digraph import WeightedDigraph
+
+
+@dataclass(frozen=True)
+class SolverCapabilities:
+    """What a registered solver supports / reports.
+
+    ``negative_weights``/``directed`` describe accepted inputs (all current
+    solvers handle both; a Dijkstra-based entry would not);
+    ``rounds_accounted`` is True when ``SolveOutcome.rounds`` carries a
+    meaningful CONGEST-CLIQUE charge rather than 0.
+    """
+
+    negative_weights: bool = True
+    directed: bool = True
+    rounds_accounted: bool = True
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class SolveOptions:
+    """Knobs shared by every registered solver.
+
+    ``scale`` feeds :class:`PaperConstants` for the pipeline solvers and is
+    ignored by centralized ones; ``seed`` seeds the solver's randomness;
+    ``min_duration_s`` is a wall-clock floor per solve, used by the
+    parallel-executor benchmarks and tests to make work placement
+    observable regardless of how fast the instance solves.
+    """
+
+    scale: float = 0.5
+    seed: int = 0
+    min_duration_s: float = 0.0
+
+
+@dataclass
+class SolveOutcome:
+    """What a solver returns: the closure plus accounting."""
+
+    distances: np.ndarray
+    rounds: float
+    solver: str
+    squarings: int = 0
+    find_edges_calls: int = 0
+    details: dict = field(default_factory=dict)
+
+
+@runtime_checkable
+class Solver(Protocol):
+    """Anything that maps a :class:`WeightedDigraph` to its distance closure."""
+
+    name: str
+    capabilities: SolverCapabilities
+
+    def solve(self, graph: WeightedDigraph) -> SolveOutcome:  # pragma: no cover
+        ...
+
+
+def _hold_floor(started: float, options: SolveOptions) -> None:
+    """Sleep out the remainder of ``options.min_duration_s``."""
+    remaining = options.min_duration_s - (time.perf_counter() - started)
+    if remaining > 0:
+        time.sleep(remaining)
+
+
+class PipelineSolver:
+    """The Theorem-1 reduction pipeline with a chosen FindEdges backend."""
+
+    def __init__(
+        self,
+        name: str,
+        backend_factory: Callable[[SolveOptions], object],
+        capabilities: SolverCapabilities,
+        options: SolveOptions,
+    ) -> None:
+        self.name = name
+        self.capabilities = capabilities
+        self.options = options
+        self._backend_factory = backend_factory
+
+    def solve(self, graph: WeightedDigraph) -> SolveOutcome:
+        started = time.perf_counter()
+        backend = self._backend_factory(self.options)
+        report = QuantumAPSP(backend=backend).solve(graph)
+        _hold_floor(started, self.options)
+        return SolveOutcome(
+            distances=report.distances,
+            rounds=report.rounds,
+            solver=self.name,
+            squarings=report.squarings,
+            find_edges_calls=report.find_edges_calls,
+            details={"aborts": report.aborts},
+        )
+
+
+class FloydWarshallSolver:
+    """The centralized ``O(n³)`` oracle — fastest wall clock, zero rounds."""
+
+    name = "floyd-warshall"
+    capabilities = SolverCapabilities(
+        rounds_accounted=False,
+        description="centralized numpy Floyd–Warshall oracle",
+    )
+
+    def __init__(self, options: SolveOptions) -> None:
+        self.options = options
+
+    def solve(self, graph: WeightedDigraph) -> SolveOutcome:
+        started = time.perf_counter()
+        distances = floyd_warshall(graph)
+        _hold_floor(started, self.options)
+        return SolveOutcome(distances=distances, rounds=0.0, solver=self.name)
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """A registry entry: how to build a solver and what it can do."""
+
+    name: str
+    factory: Callable[[SolveOptions], Solver]
+    capabilities: SolverCapabilities
+
+
+_REGISTRY: dict[str, SolverSpec] = {}
+
+
+def register_solver(
+    name: str,
+    factory: Callable[[SolveOptions], Solver],
+    *,
+    capabilities: SolverCapabilities | None = None,
+    replace: bool = False,
+) -> None:
+    """Add a solver to the registry under ``name``.
+
+    ``factory`` takes a :class:`SolveOptions` and returns a
+    :class:`Solver`.  Re-registering an existing name requires
+    ``replace=True`` so typos cannot silently shadow built-ins.
+    """
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"solver {name!r} is already registered")
+    _REGISTRY[name] = SolverSpec(
+        name=name,
+        factory=factory,
+        capabilities=capabilities if capabilities is not None else SolverCapabilities(),
+    )
+
+
+def available_solvers() -> list[str]:
+    """Sorted names of every registered solver."""
+    return sorted(_REGISTRY)
+
+
+def solver_capabilities(name: str) -> SolverCapabilities:
+    """Declared capabilities of a registered solver."""
+    return _require(name).capabilities
+
+
+def make_solver(name: str, options: SolveOptions | None = None) -> Solver:
+    """Instantiate a registered solver."""
+    spec = _require(name)
+    return spec.factory(options if options is not None else SolveOptions())
+
+
+def _require(name: str) -> SolverSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_solvers())
+        raise ValueError(f"unknown solver {name!r}; registered: {known}") from None
+
+
+def _quantum_factory(options: SolveOptions) -> Solver:
+    return PipelineSolver(
+        "quantum",
+        lambda opts: QuantumFindEdges(
+            constants=PaperConstants(scale=opts.scale), rng=opts.seed
+        ),
+        SolverCapabilities(description="Õ(n^{1/4})-round quantum pipeline (Theorem 1)"),
+        options,
+    )
+
+
+def _classical_factory(options: SolveOptions) -> Solver:
+    return PipelineSolver(
+        "classical",
+        lambda opts: GroverFreeFindEdges(
+            constants=PaperConstants(scale=opts.scale), rng=opts.seed
+        ),
+        SolverCapabilities(description="Grover-free classical pipeline"),
+        options,
+    )
+
+
+def _reference_factory(options: SolveOptions) -> Solver:
+    return PipelineSolver(
+        "reference",
+        lambda opts: ReferenceFindEdges(),
+        SolverCapabilities(
+            rounds_accounted=False,
+            description="reduction pipeline over the centralized FindEdges reference",
+        ),
+        options,
+    )
+
+
+register_solver("quantum", _quantum_factory,
+                capabilities=_quantum_factory(SolveOptions()).capabilities)
+register_solver("classical", _classical_factory,
+                capabilities=_classical_factory(SolveOptions()).capabilities)
+register_solver("reference", _reference_factory,
+                capabilities=_reference_factory(SolveOptions()).capabilities)
+register_solver("floyd-warshall", FloydWarshallSolver,
+                capabilities=FloydWarshallSolver.capabilities)

@@ -1,0 +1,205 @@
+"""Content-addressed result store: solve once, answer queries forever.
+
+A :class:`ClosureArtifact` bundles everything needed to answer distance and
+path queries about one graph — the distance closure, the first-hop
+successor matrix, the round charge, and provenance (solver name, library
+version).  The :class:`ResultStore` keeps artifacts in memory under their
+graph digest with LRU eviction, and can additionally persist them as
+``.npz`` archives under a cache directory so closures survive processes.
+
+Persisted artifacts carry ``repro.__version__``; an archive written by a
+different library version is treated as stale and ignored on load (counted
+in :attr:`StoreStats.stale_discards`), so a cache directory can never serve
+closures computed by incompatible code.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from repro._version import __version__
+from repro.graphs.digraph import WeightedDigraph
+from repro.matrix.witness import successor_matrix
+from repro.service.hashing import graph_digest
+from repro.service.solvers import SolveOutcome
+
+PathLike = Union[str, pathlib.Path]
+
+
+def artifact_key(digest: str, solver: str) -> str:
+    """The store key of a closure: content address *and* solver name.
+
+    Distances are solver-independent, but the round charge — the paper's
+    core metric — is not, so closures computed by different solvers must
+    not answer for each other (a cached Floyd–Warshall closure served to a
+    ``quantum`` request would report ``rounds=0`` for the quantum solver).
+    """
+    return f"{digest}:{solver}"
+
+
+@dataclass
+class ClosureArtifact:
+    """A solved APSP instance, ready to serve point queries."""
+
+    digest: str
+    distances: np.ndarray
+    successors: np.ndarray
+    rounds: float
+    solver: str
+    version: str = __version__
+
+    @property
+    def key(self) -> str:
+        return artifact_key(self.digest, self.solver)
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.distances.shape[0])
+
+    @classmethod
+    def from_solve(
+        cls, graph: WeightedDigraph, outcome: SolveOutcome
+    ) -> "ClosureArtifact":
+        """Build an artifact from a solver outcome, deriving the successor
+        matrix centrally from the closure (the footnote-1 witness trick)."""
+        successors = successor_matrix(graph.apsp_matrix(), outcome.distances)
+        return cls(
+            digest=graph_digest(graph),
+            distances=np.asarray(outcome.distances, dtype=np.float64),
+            successors=successors,
+            rounds=float(outcome.rounds),
+            solver=outcome.solver,
+        )
+
+
+@dataclass
+class StoreStats:
+    """Counters exposed for tests, benchmarks, and CLI summaries."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    disk_loads: int = 0
+    stale_discards: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "disk_loads": self.disk_loads,
+            "stale_discards": self.stale_discards,
+        }
+
+
+class ResultStore:
+    """LRU cache of closure artifacts keyed by ``digest:solver``
+    (:func:`artifact_key`).
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of artifacts held in memory; the least recently
+        *used* (``get`` or ``put``) is evicted first.
+    cache_dir:
+        Optional directory for ``.npz`` persistence.  ``put`` writes
+        through; ``get`` falls back to disk on a memory miss and promotes
+        the loaded artifact back into memory.
+    """
+
+    def __init__(
+        self, capacity: int = 64, cache_dir: Optional[PathLike] = None
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.cache_dir = pathlib.Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._entries: "OrderedDict[str, ClosureArtifact]" = OrderedDict()
+        self.stats = StoreStats()
+
+    # -- core cache operations ----------------------------------------------
+
+    def get(self, key: str) -> Optional[ClosureArtifact]:
+        """The artifact stored under :func:`artifact_key` ``key``, or
+        ``None`` (counted as a miss)."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+        entry = self._load_from_disk(key)
+        if entry is not None:
+            self.stats.hits += 1
+            self.stats.disk_loads += 1
+            self._insert(entry)
+            return entry
+        self.stats.misses += 1
+        return None
+
+    def put(self, artifact: ClosureArtifact) -> None:
+        """Insert (or refresh) an artifact; write through to disk if
+        persistence is enabled."""
+        self._insert(artifact)
+        if self.cache_dir is not None:
+            self._persist(artifact)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def clear_memory(self) -> None:
+        """Drop every in-memory entry (persisted archives are kept)."""
+        self._entries.clear()
+
+    def _insert(self, artifact: ClosureArtifact) -> None:
+        self._entries[artifact.key] = artifact
+        self._entries.move_to_end(artifact.key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- persistence ---------------------------------------------------------
+
+    def _artifact_path(self, key: str) -> pathlib.Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{key.replace(':', '.')}.npz"
+
+    def _persist(self, artifact: ClosureArtifact) -> None:
+        np.savez_compressed(
+            self._artifact_path(artifact.key),
+            distances=artifact.distances,
+            successors=artifact.successors,
+            rounds=np.float64(artifact.rounds),
+            solver=np.str_(artifact.solver),
+            version=np.str_(artifact.version),
+            digest=np.str_(artifact.digest),
+        )
+
+    def _load_from_disk(self, key: str) -> Optional[ClosureArtifact]:
+        if self.cache_dir is None:
+            return None
+        path = self._artifact_path(key)
+        if not path.exists():
+            return None
+        with np.load(path) as data:
+            version = str(data["version"])
+            if version != __version__:
+                self.stats.stale_discards += 1
+                return None
+            return ClosureArtifact(
+                digest=str(data["digest"]),
+                distances=data["distances"],
+                successors=data["successors"],
+                rounds=float(data["rounds"]),
+                solver=str(data["solver"]),
+                version=version,
+            )

@@ -76,3 +76,40 @@ class TestSweepHelpers:
             )
         ]
         assert sweep_phase_rounds(points, "coverage") == [0.5]
+
+
+class TestSweepApspEngine:
+    def test_sync_sweep_exact_and_counted(self):
+        from repro.analysis.sweeps import sweep_apsp_engine
+
+        points = sweep_apsp_engine([8, 12], seeds=(0, 1), solver="floyd-warshall")
+        assert [point.key for point in points] == [
+            (8, 0), (8, 1), (12, 0), (12, 1),
+        ]
+        assert all(point.exact for point in points)
+        assert all(not point.cache_hit for point in points)
+
+    def test_repeated_sweep_hits_shared_store(self):
+        from repro.analysis.sweeps import sweep_apsp_engine
+        from repro.service import ResultStore
+
+        store = ResultStore()
+        first = sweep_apsp_engine([8, 12], solver="floyd-warshall", store=store)
+        second = sweep_apsp_engine([8, 12], solver="floyd-warshall", store=store)
+        assert all(not point.cache_hit for point in first)
+        assert all(point.cache_hit for point in second)
+        assert [p.digest for p in first] == [p.digest for p in second]
+
+    def test_parallel_sweep_matches_truth(self):
+        from repro.analysis.sweeps import sweep_apsp_engine
+        from repro.service import SolveOptions
+
+        points = sweep_apsp_engine(
+            [8, 10, 12],
+            seeds=(0, 1),
+            solver="floyd-warshall",
+            options=SolveOptions(min_duration_s=0.15),
+            workers=2,
+        )
+        assert all(point.exact for point in points)
+        assert len({point.worker_pid for point in points}) >= 2

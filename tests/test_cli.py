@@ -119,6 +119,92 @@ class TestOtherCommands:
         assert code == 0
         assert "2^4" in capsys.readouterr().out
 
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {repro.__version__}" in capsys.readouterr().out
+
+    def test_unsupported_extension_is_rejected(self, tmp_path):
+        target = tmp_path / "graph.json"
+        target.write_text("{}")
+        with pytest.raises(ValueError, match="supported extensions"):
+            main(["apsp", "--graph", str(target)])
+        with pytest.raises(ValueError, match="supported extensions"):
+            main(["generate", "--n", "6", "--out", str(tmp_path / "out.csv")])
+
+
+class TestServiceCommands:
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        graph = repro.random_digraph_no_negative_cycle(10, density=0.5, rng=8)
+        path = tmp_path / "g.npz"
+        graph_io.save_npz(graph, path)
+        return graph, path
+
+    def test_query_defaults_to_diameter(self, graph_file, capsys):
+        graph, path = graph_file
+        code = main(["query", "--graph", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "diameter:" in out
+        assert "1 solve(s)" in out
+
+    def test_query_dist_and_path(self, graph_file, capsys):
+        graph, path = graph_file
+        code = main(
+            ["query", "--graph", str(path), "--dist", "0", "4", "--path", "0", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        truth = repro.floyd_warshall(graph)
+        assert f"dist 0 -> 4: {truth[0, 4]:g}" in out
+
+    def test_query_cache_dir_persists_across_runs(self, graph_file, tmp_path, capsys):
+        _, path = graph_file
+        cache = tmp_path / "cache"
+        assert main(["query", "--graph", str(path), "--diameter",
+                     "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        assert main(["query", "--graph", str(path), "--diameter",
+                     "--cache-dir", str(cache)]) == 0
+        assert "0 solve(s)" in capsys.readouterr().out
+
+    def test_serve_batch_generated(self, capsys):
+        code = main(
+            ["serve-batch", "--count", "3", "--n", "8",
+             "--solver", "floyd-warshall"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 job(s), 0 failed" in out
+
+    def test_serve_batch_parallel_files(self, tmp_path, capsys):
+        paths = []
+        for seed in range(3):
+            graph = repro.random_digraph_no_negative_cycle(8, rng=seed)
+            path = tmp_path / f"g{seed}.npz"
+            graph_io.save_npz(graph, path)
+            paths.append(str(path))
+        code = main(
+            ["serve-batch", "--graphs", *paths, "--workers", "2",
+             "--solver", "floyd-warshall"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("done") == 3
+
+    def test_serve_batch_reports_failures(self, tmp_path, capsys):
+        bad = repro.WeightedDigraph.from_edges(3, [(0, 1, -5), (1, 0, 2)])
+        path = tmp_path / "bad.npz"
+        graph_io.save_npz(bad, path)
+        code = main(
+            ["serve-batch", "--graphs", str(path), "--solver", "reference"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "NegativeCycleError" in out
+
 
 def test_module_entry_point():
     result = subprocess.run(
@@ -129,3 +215,26 @@ def test_module_entry_point():
     )
     assert result.returncode == 0
     assert "analytic round model" in result.stdout
+
+
+class TestNegativeCycleQueries:
+    @pytest.fixture
+    def bad_graph_file(self, tmp_path):
+        bad = repro.WeightedDigraph.from_edges(3, [(0, 1, -5), (1, 0, 2)])
+        path = tmp_path / "bad.npz"
+        graph_io.save_npz(bad, path)
+        return path
+
+    def test_negative_cycle_with_dist_prints_undefined(self, bad_graph_file, capsys):
+        code = main(
+            ["query", "--graph", str(bad_graph_file),
+             "--dist", "0", "1", "--negative-cycle"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "negative-cycle: True" in out
+        assert "dist 0 -> 1: undefined" in out
+
+    def test_negative_cycle_without_flag_exits_cleanly(self, bad_graph_file):
+        with pytest.raises(SystemExit, match="query failed"):
+            main(["query", "--graph", str(bad_graph_file), "--dist", "0", "1"])

@@ -1,0 +1,69 @@
+"""Content-address stability: the cache key must survive serialization."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.graphs import io as graph_io
+from repro.service import graph_digest
+
+
+@pytest.fixture
+def digraph():
+    return repro.random_digraph_no_negative_cycle(14, density=0.4, rng=11)
+
+
+class TestGraphDigest:
+    def test_deterministic(self, digraph):
+        assert graph_digest(digraph) == graph_digest(digraph)
+
+    def test_equal_graphs_share_digest(self, digraph):
+        clone = repro.WeightedDigraph(digraph.weights.copy())
+        assert graph_digest(clone) == graph_digest(digraph)
+
+    def test_npz_round_trip_preserves_digest(self, digraph, tmp_path):
+        path = tmp_path / "g.npz"
+        graph_io.save_graph(digraph, path)
+        assert graph_digest(graph_io.load_graph(path)) == graph_digest(digraph)
+
+    def test_edge_list_round_trip_preserves_digest(self, digraph, tmp_path):
+        path = tmp_path / "g.txt"
+        graph_io.save_graph(digraph, path)
+        assert graph_digest(graph_io.load_graph(path)) == graph_digest(digraph)
+
+    def test_chained_reloads_stable(self, digraph, tmp_path):
+        # npz → edge list → npz must still address the same content.
+        first = tmp_path / "a.npz"
+        second = tmp_path / "b.edges"
+        third = tmp_path / "c.npz"
+        graph_io.save_graph(digraph, first)
+        graph_io.save_graph(graph_io.load_graph(first), second)
+        graph_io.save_graph(graph_io.load_graph(second), third)
+        assert graph_digest(graph_io.load_graph(third)) == graph_digest(digraph)
+
+    def test_different_weights_differ(self, digraph):
+        weights = digraph.weights.copy()
+        src, dst, w = next(digraph.edges())
+        weights[src, dst] = w + 1
+        assert graph_digest(repro.WeightedDigraph(weights)) != graph_digest(digraph)
+
+    def test_directedness_is_part_of_the_address(self):
+        matrix = np.full((4, 4), np.inf)
+        matrix[0, 1] = matrix[1, 0] = 3.0
+        directed = repro.WeightedDigraph(matrix)
+        undirected = repro.UndirectedWeightedGraph(matrix)
+        assert graph_digest(directed) != graph_digest(undirected)
+
+    def test_rejects_non_graphs(self):
+        with pytest.raises(TypeError):
+            graph_digest(np.eye(3))
+
+
+class TestLoaderDispatch:
+    def test_unknown_extension_load(self, tmp_path):
+        with pytest.raises(ValueError, match="supported extensions"):
+            graph_io.load_graph(tmp_path / "g.json")
+
+    def test_unknown_extension_save(self, digraph, tmp_path):
+        with pytest.raises(ValueError, match="supported extensions"):
+            graph_io.save_graph(digraph, tmp_path / "g.csv")

@@ -1,0 +1,152 @@
+"""Query engine: one solve amortized over large query batches."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ServiceError
+from repro.matrix.apsp import batch_distance_lookup
+from repro.service import QueryEngine, QueryRequest, ResultStore, SolveOptions
+
+
+@pytest.fixture
+def graph():
+    return repro.random_digraph_no_negative_cycle(16, density=0.45, rng=9)
+
+
+@pytest.fixture
+def truth(graph):
+    return repro.floyd_warshall(graph)
+
+
+class TestPointQueries:
+    def test_dist_matches_oracle(self, graph, truth):
+        engine = QueryEngine(solver="reference")
+        assert engine.dist(graph, 0, 7) == truth[0, 7]
+        assert engine.dist(graph, 3, 3) == 0.0
+
+    def test_path_is_shortest(self, graph, truth):
+        engine = QueryEngine(solver="reference")
+        for dst in range(1, graph.num_vertices):
+            path = engine.path(graph, 0, dst)
+            if np.isfinite(truth[0, dst]):
+                assert path is not None
+                assert path[0] == 0 and path[-1] == dst
+                assert repro.path_weight(graph.apsp_matrix(), path) == truth[0, dst]
+            else:
+                assert path is None
+
+    def test_diameter(self, graph, truth):
+        engine = QueryEngine(solver="reference")
+        assert engine.diameter(graph) == truth.max()
+
+    def test_negative_cycle_detection(self, graph):
+        engine = QueryEngine(solver="reference")
+        bad = repro.WeightedDigraph.from_edges(3, [(0, 1, -5), (1, 0, 2)])
+        assert engine.has_negative_cycle(bad) is True
+        assert engine.has_negative_cycle(graph) is False
+
+    def test_out_of_range_endpoint(self, graph):
+        engine = QueryEngine(solver="reference")
+        with pytest.raises(ServiceError, match="out of range"):
+            engine.dist(graph, 0, 99)
+
+    def test_unknown_query_kind(self):
+        with pytest.raises(ServiceError, match="unknown query kind"):
+            QueryRequest("eccentricity", 0, 1)
+
+
+class TestBatchAmortization:
+    def test_thousand_queries_one_solve(self, graph, truth):
+        """Acceptance: ≥1000 dist queries against a solved graph re-invoke
+        no solver."""
+        engine = QueryEngine(solver="reference")
+        engine.ensure_solved(graph)
+        assert engine.solver_invocations == 1
+        n = graph.num_vertices
+        requests = [
+            QueryRequest("dist", u % n, v % n)
+            for u in range(40)
+            for v in range(30)
+        ]
+        assert len(requests) >= 1000
+        results = engine.query_batch(graph, requests)
+        assert engine.solver_invocations == 1, "a solver ran on a cached closure"
+        assert engine.store.stats.misses == 1
+        assert engine.store.stats.hits >= 1
+        for result in results:
+            assert result.value == truth[result.request.u, result.request.v]
+
+    def test_point_query_loop_stays_cached(self, graph, truth):
+        engine = QueryEngine(solver="reference")
+        for v in range(graph.num_vertices):
+            assert engine.dist(graph, 0, v) == truth[0, v]
+        assert engine.solver_invocations == 1
+        assert engine.store.stats.hits == graph.num_vertices - 1
+
+    def test_mixed_batch_in_order(self, graph, truth):
+        engine = QueryEngine(solver="reference")
+        requests = [
+            QueryRequest("dist", 0, 5),
+            QueryRequest("path", 0, 5),
+            QueryRequest("diameter"),
+            QueryRequest("negative-cycle"),
+            QueryRequest("dist", 2, 3),
+        ]
+        results = engine.query_batch(graph, requests)
+        assert [r.request.kind for r in results] == [
+            "dist", "path", "diameter", "negative-cycle", "dist",
+        ]
+        assert results[0].value == truth[0, 5]
+        assert results[2].value == truth.max()
+        assert results[3].value is False
+        assert results[4].value == truth[2, 3]
+
+    def test_batch_on_negative_cycle_graph(self):
+        engine = QueryEngine(solver="reference")
+        bad = repro.WeightedDigraph.from_edges(3, [(0, 1, -5), (1, 0, 2)])
+        results = engine.query_batch(
+            bad, [QueryRequest("negative-cycle"), QueryRequest("dist", 0, 1)]
+        )
+        assert results[0].value is True
+        assert results[1].value is None  # distances undefined
+
+    def test_empty_batch(self, graph):
+        engine = QueryEngine(solver="reference")
+        assert engine.query_batch(graph, []) == []
+        assert engine.solver_invocations == 0
+
+    def test_persistent_store_shared_between_engines(self, graph, tmp_path):
+        first = QueryEngine(solver="reference", store=ResultStore(cache_dir=tmp_path))
+        first.ensure_solved(graph)
+        second = QueryEngine(
+            solver="reference", store=ResultStore(cache_dir=tmp_path)
+        )
+        second.dist(graph, 0, 1)
+        assert second.solver_invocations == 0
+
+    def test_solver_options_forwarded(self, graph, truth):
+        engine = QueryEngine(
+            solver="floyd-warshall", options=SolveOptions(seed=1)
+        )
+        assert engine.dist(graph, 1, 2) == truth[1, 2]
+
+
+class TestBatchLookupKernel:
+    def test_gather_matches_indexing(self, truth):
+        pairs = [(0, 1), (3, 7), (7, 3), (5, 5)]
+        values = batch_distance_lookup(truth, pairs)
+        assert values.tolist() == [truth[u, v] for u, v in pairs]
+
+    def test_empty(self, truth):
+        assert batch_distance_lookup(truth, []).size == 0
+
+    def test_out_of_range(self, truth):
+        with pytest.raises(repro.GraphError):
+            batch_distance_lookup(truth, [(0, 99)])
+        with pytest.raises(repro.GraphError):
+            batch_distance_lookup(truth, [(-1, 0)])
+
+    def test_bad_shape(self, truth):
+        with pytest.raises(repro.GraphError):
+            batch_distance_lookup(truth, [(0, 1, 2)])

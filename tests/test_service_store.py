@@ -1,0 +1,95 @@
+"""Result store: LRU semantics, persistence, version staleness."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.service import ClosureArtifact, ResultStore, graph_digest
+from repro.service.solvers import make_solver
+
+
+def make_artifact(seed: int, n: int = 8) -> tuple[repro.WeightedDigraph, ClosureArtifact]:
+    graph = repro.random_digraph_no_negative_cycle(n, density=0.5, rng=seed)
+    outcome = make_solver("floyd-warshall").solve(graph)
+    return graph, ClosureArtifact.from_solve(graph, outcome)
+
+
+class TestArtifact:
+    def test_from_solve_is_queryable(self):
+        graph, artifact = make_artifact(3)
+        truth = repro.floyd_warshall(graph)
+        assert np.array_equal(artifact.distances, truth)
+        assert artifact.digest == graph_digest(graph)
+        assert artifact.version == repro.__version__
+        path = repro.reconstruct_path(artifact.successors, 0, 5)
+        if path is not None:
+            assert repro.path_weight(graph.apsp_matrix(), path) == truth[0, 5]
+
+
+class TestLru:
+    def test_hit_and_miss_counters(self):
+        store = ResultStore(capacity=4)
+        _, artifact = make_artifact(1)
+        assert store.get(artifact.key) is None
+        store.put(artifact)
+        assert store.get(artifact.key) is artifact
+        assert store.stats.misses == 1
+        assert store.stats.hits == 1
+
+    def test_eviction_drops_least_recently_used(self):
+        store = ResultStore(capacity=2)
+        artifacts = [make_artifact(seed)[1] for seed in range(3)]
+        store.put(artifacts[0])
+        store.put(artifacts[1])
+        assert store.get(artifacts[0].key) is artifacts[0]  # refresh 0
+        store.put(artifacts[2])  # evicts 1, the LRU entry
+        assert store.stats.evictions == 1
+        assert artifacts[1].key not in store
+        assert store.get(artifacts[0].key) is artifacts[0]
+        assert store.get(artifacts[2].key) is artifacts[2]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ResultStore(capacity=0)
+
+
+class TestPersistence:
+    def test_round_trip_through_disk(self, tmp_path):
+        _, artifact = make_artifact(5)
+        ResultStore(cache_dir=tmp_path).put(artifact)
+        fresh = ResultStore(cache_dir=tmp_path)
+        loaded = fresh.get(artifact.key)
+        assert loaded is not None
+        assert np.array_equal(loaded.distances, artifact.distances)
+        assert np.array_equal(loaded.successors, artifact.successors)
+        assert loaded.solver == artifact.solver
+        assert fresh.stats.disk_loads == 1
+        assert fresh.stats.hits == 1
+        # Promoted to memory: the next get does not touch disk again.
+        assert fresh.get(artifact.key) is loaded
+        assert fresh.stats.disk_loads == 1
+
+    def test_memory_clear_keeps_archives(self, tmp_path):
+        store = ResultStore(cache_dir=tmp_path)
+        _, artifact = make_artifact(6)
+        store.put(artifact)
+        store.clear_memory()
+        assert len(store) == 0
+        assert store.get(artifact.key) is not None
+
+    def test_stale_version_is_discarded(self, tmp_path):
+        store = ResultStore(cache_dir=tmp_path)
+        _, artifact = make_artifact(7)
+        artifact.version = "0.0.0"
+        store.put(artifact)
+        fresh = ResultStore(cache_dir=tmp_path)
+        assert fresh.get(artifact.key) is None
+        assert fresh.stats.stale_discards == 1
+        assert fresh.stats.misses == 1
+
+    def test_no_cache_dir_means_no_disk(self):
+        store = ResultStore()
+        _, artifact = make_artifact(8)
+        store.put(artifact)
+        store.clear_memory()
+        assert store.get(artifact.key) is None
