@@ -58,11 +58,15 @@ def bellman_ford_distributed(
     iterations = 0
     for _ in range(n - 1):
         iterations += 1
-        finite = np.isfinite(dist)
-        payloads = {
-            int(v): (float(dist[v]), 1) for v in np.nonzero(finite)[0]
-        }
-        network.broadcast_all(payloads, f"bellman_ford.iter{iterations}")
+        # Every node with a finite tentative distance broadcasts it (one
+        # word each); the relaxation below computes the receiver-side state
+        # directly, so the broadcast is payload-elided and columnar.
+        broadcasters = np.nonzero(np.isfinite(dist))[0]
+        network.broadcast_volume(
+            broadcasters,
+            np.ones(broadcasters.size, dtype=np.int64),
+            f"bellman_ford.iter{iterations}",
+        )
         # Local relaxation at every node over its in-edges.
         candidate = (dist[:, None] + weights).min(axis=0)
         updated = np.minimum(dist, candidate)

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.congest.accounting import RoundLedger
-from repro.congest.message import Message
+from repro.congest.batch import MessageBatch
 from repro.congest.network import CongestClique
 from repro.congest.partitions import BlockPartition
 from repro.errors import NegativeCycleError
@@ -55,25 +55,51 @@ def distributed_minplus_product(
     network.register_scheme("ch_triples", triples)
 
     # Gather: triple (A, B, C) needs A[A, C] (rows owned by A's vertices)
-    # and B[C, B] (rows owned by C's vertices).
-    gather: list[Message] = []
-    for x, y, z in triples:
-        size_c = len(partition.block(z))
-        size_b = len(partition.block(y))
-        for u in partition.block(x).tolist():
-            gather.append(Message(u, (x, y, z), None, size_words=size_c))
-        for w in partition.block(z).tolist():
-            gather.append(Message(w, (x, y, z), None, size_words=size_b))
-    network.deliver(gather, "ch.gather", scheme="base", dst_scheme="ch_triples")
-
-    # Aggregate: the (|A| × |B|) partial min matrix goes back to the row
-    # owners, one row slice per owner.
-    aggregate: list[Message] = []
-    for x, y, z in triples:
-        size_b = len(partition.block(y))
-        for u in partition.block(x).tolist():
-            aggregate.append(Message((x, y, z), u, None, size_words=size_b))
-    network.deliver(aggregate, "ch.aggregate", scheme="ch_triples", dst_scheme="base")
+    # and B[C, B] (rows owned by C's vertices).  Both phases are columnar
+    # batches; the aggregate reverses the x-side of the gather with the
+    # (|A| × |B|) partial min matrix going back one row slice per owner.
+    block_sizes = np.array(
+        [len(partition.block(b)) for b in range(q)], dtype=np.int64
+    )
+    gather_src: list[np.ndarray] = []
+    gather_dst: list[np.ndarray] = []
+    gather_size: list[np.ndarray] = []
+    agg_src: list[np.ndarray] = []
+    agg_dst: list[np.ndarray] = []
+    agg_size: list[np.ndarray] = []
+    for position, (x, y, z) in enumerate(triples):
+        block_x = partition.block(x)
+        block_z = partition.block(z)
+        senders = np.concatenate([block_x, block_z])
+        gather_src.append(senders)
+        gather_dst.append(np.full(senders.size, position, dtype=np.int64))
+        gather_size.append(
+            np.concatenate(
+                [
+                    np.full(block_x.size, block_sizes[z], dtype=np.int64),
+                    np.full(block_z.size, block_sizes[y], dtype=np.int64),
+                ]
+            )
+        )
+        agg_src.append(np.full(block_x.size, position, dtype=np.int64))
+        agg_dst.append(block_x)
+        agg_size.append(np.full(block_x.size, block_sizes[y], dtype=np.int64))
+    network.deliver(
+        MessageBatch(
+            np.concatenate(gather_src),
+            np.concatenate(gather_dst),
+            np.concatenate(gather_size),
+        ),
+        "ch.gather", scheme="base", dst_scheme="ch_triples",
+    )
+    network.deliver(
+        MessageBatch(
+            np.concatenate(agg_src),
+            np.concatenate(agg_dst),
+            np.concatenate(agg_size),
+        ),
+        "ch.aggregate", scheme="ch_triples", dst_scheme="base",
+    )
 
     return distance_product(a, b), network.ledger
 

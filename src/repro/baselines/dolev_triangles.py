@@ -22,7 +22,7 @@ from itertools import combinations_with_replacement
 import numpy as np
 
 from repro.congest.accounting import RoundLedger
-from repro.congest.message import Message
+from repro.congest.batch import MessageBatch
 from repro.congest.network import CongestClique
 from repro.congest.partitions import BlockPartition
 from repro.core.problems import FindEdgesInstance, FindEdgesSolution
@@ -66,21 +66,28 @@ class DolevFindEdges:
     ) -> None:
         """Each triple node gathers, from the row owners, the witness *and*
         pair weights between every pair of its blocks (two matrices per
-        block pair, both needed for the asymmetric triangle test)."""
-        messages: list[Message] = []
-        for triple in triples:
+        block pair, both needed for the asymmetric triangle test).
+
+        Every vertex of each block ships its row restricted to the union of
+        the triple's blocks (witness + pair weight: 2 words per entry);
+        the traffic is one columnar batch over the triple scheme.
+        """
+        src_parts: list[np.ndarray] = []
+        dst_parts: list[np.ndarray] = []
+        size_parts: list[np.ndarray] = []
+        for position, triple in enumerate(triples):
             blocks = sorted(set(triple))
-            # Every vertex of each block ships its row restricted to the
-            # union of the triple's blocks (witness + pair weight: 2 words
-            # per entry).
-            union_size = sum(len(partition.block(b)) for b in blocks)
-            for b in blocks:
-                for u in partition.block(b).tolist():
-                    messages.append(
-                        Message(u, triple, None, size_words=2 * union_size)
-                    )
+            senders = np.concatenate([partition.block(b) for b in blocks])
+            src_parts.append(senders)
+            dst_parts.append(np.full(senders.size, position, dtype=np.int64))
+            size_parts.append(np.full(senders.size, 2 * senders.size, dtype=np.int64))
+        batch = MessageBatch(
+            np.concatenate(src_parts),
+            np.concatenate(dst_parts),
+            np.concatenate(size_parts),
+        )
         network.deliver(
-            messages, "dolev.gather", scheme="base", dst_scheme="dolev_triples"
+            batch, "dolev.gather", scheme="base", dst_scheme="dolev_triples"
         )
 
     def list_negative_triangles(

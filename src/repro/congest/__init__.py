@@ -3,12 +3,15 @@
 ``n`` nodes over a fully connected network exchange messages of ``O(log n)``
 bits (one *word*) per link per synchronous round.  The simulator is
 message-accurate in what crosses node boundaries and round-accurate in cost:
-all communication goes through :class:`~repro.congest.router.Router`, which
-charges rounds by the routing lemma of Dolev, Lenzen and Peled (Lemma 1 of
-the paper).
+all communication flows through the columnar message plane of
+:mod:`repro.congest.batch` and is charged by
+:func:`repro.congest.router.route_rounds` — the routing lemma of Dolev,
+Lenzen and Peled (Lemma 1 of the paper) — over per-physical-node load
+histograms.
 """
 
 from repro.congest.accounting import RoundLedger
+from repro.congest.batch import MessageBatch
 from repro.congest.message import Message
 from repro.congest.network import CongestClique, Node
 from repro.congest.partitions import BlockPartition, CliquePartitions
@@ -16,6 +19,7 @@ from repro.congest.trace import TraceEvent, Tracer
 
 __all__ = [
     "Message",
+    "MessageBatch",
     "Node",
     "CongestClique",
     "RoundLedger",

@@ -1,0 +1,154 @@
+"""Columnar message batches — the vectorized CONGEST-CLIQUE message plane.
+
+A :class:`MessageBatch` holds one routed batch as parallel numpy arrays
+(source label position, destination label position, size in words, payload
+index) instead of per-:class:`~repro.congest.message.Message` Python
+objects.  Label *positions* are indices into a labeling scheme's
+registration order (for the ``"base"`` scheme, position == physical node
+index), so the router can resolve a million messages to physical loads with
+two ``np.bincount`` calls instead of a million dict lookups.
+
+Payloads stay out of the hot path: most protocol traffic in this library is
+payload-elided (the simulator computes the receiving node's local state
+directly, and only the declared sizes matter for the Lemma 1 charge), so
+the default batch carries no payloads and delivery touches no inboxes.
+Batches that do carry data list the distinct payloads once and tag each
+message with an index into that list (``payload_index[i] == -1`` means
+"size-only message"), mirroring the columnar (src, dst, payload index)
+layout of real batching message planes.
+
+Object-based call sites keep working unchanged:
+:meth:`MessageBatch.from_messages` is the compatibility shim that
+:meth:`~repro.congest.network.CongestClique.deliver` applies to any
+iterable of :class:`Message` objects, and both paths charge identical
+rounds (see ``tests/test_congest_batch.py`` for the property-style
+equivalence test).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.congest.message import Message
+from repro.errors import NetworkError
+
+
+class MessageBatch:
+    """A batch of point-to-point messages in columnar form.
+
+    Parameters
+    ----------
+    src, dst:
+        Integer arrays of label positions within the source/destination
+        labeling schemes (``scheme_positions``/``register_scheme`` order;
+        for ``"base"``, the position is the physical node index).
+    size_words:
+        Per-message declared sizes in model words (positive integers).
+    payloads / payload_index:
+        Optional payload table and per-message index into it; ``-1`` marks
+        a size-only message.  When ``payloads`` is ``None`` the whole batch
+        is size-only and delivery skips inbox writes entirely.
+    """
+
+    __slots__ = ("src", "dst", "size_words", "payloads", "payload_index")
+
+    def __init__(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        size_words: np.ndarray,
+        *,
+        payloads: Optional[list[Any]] = None,
+        payload_index: Optional[np.ndarray] = None,
+    ) -> None:
+        self.src = np.asarray(src, dtype=np.int64)
+        self.dst = np.asarray(dst, dtype=np.int64)
+        self.size_words = np.asarray(size_words, dtype=np.int64)
+        if not (self.src.shape == self.dst.shape == self.size_words.shape):
+            raise NetworkError("src, dst, and size_words must have equal length")
+        if self.src.ndim != 1:
+            raise NetworkError("batch columns must be one-dimensional")
+        if self.size_words.size and int(self.size_words.min()) <= 0:
+            raise NetworkError("size_words must be positive")
+        self.payloads = payloads
+        if payloads is None:
+            self.payload_index = None
+        else:
+            if payload_index is None:
+                raise NetworkError("payloads given without payload_index")
+            self.payload_index = np.asarray(payload_index, dtype=np.int64)
+            if self.payload_index.shape != self.src.shape:
+                raise NetworkError("payload_index must align with src/dst")
+            if self.payload_index.size and int(self.payload_index.max()) >= len(payloads):
+                raise NetworkError("payload_index out of range")
+
+    def __len__(self) -> int:
+        return int(self.src.size)
+
+    @property
+    def total_words(self) -> int:
+        return int(self.size_words.sum())
+
+    @classmethod
+    def empty(cls) -> "MessageBatch":
+        zero = np.empty(0, dtype=np.int64)
+        return cls(zero, zero.copy(), zero.copy())
+
+    @classmethod
+    def concatenate(cls, batches: Sequence["MessageBatch"]) -> "MessageBatch":
+        """Stack size-only batches into one (payload batches not supported)."""
+        batches = [batch for batch in batches if len(batch)]
+        if not batches:
+            return cls.empty()
+        if any(batch.payloads is not None for batch in batches):
+            raise NetworkError("concatenate supports size-only batches")
+        return cls(
+            np.concatenate([batch.src for batch in batches]),
+            np.concatenate([batch.dst for batch in batches]),
+            np.concatenate([batch.size_words for batch in batches]),
+        )
+
+    @classmethod
+    def from_messages(
+        cls,
+        messages: Iterable[Message],
+        src_position: Mapping[Hashable, int],
+        dst_position: Mapping[Hashable, int],
+        *,
+        src_scheme: str = "base",
+        dst_scheme: str = "base",
+    ) -> "MessageBatch":
+        """Compatibility shim: columnarize object-based messages.
+
+        Resolves each message's labels to scheme positions (raising
+        :class:`NetworkError` with the same diagnostics the object router
+        produced) and keeps every payload — object messages always deliver
+        to inboxes, even ``None`` payloads, preserving the historical
+        semantics byte for byte.
+        """
+        batch = list(messages)
+        src = np.empty(len(batch), dtype=np.int64)
+        dst = np.empty(len(batch), dtype=np.int64)
+        size_words = np.empty(len(batch), dtype=np.int64)
+        payloads: list[Any] = []
+        payload_index = np.empty(len(batch), dtype=np.int64)
+        for i, message in enumerate(batch):
+            try:
+                src[i] = src_position[message.src]
+            except KeyError:
+                raise NetworkError(
+                    f"unknown source label {message.src!r} in scheme {src_scheme!r}"
+                ) from None
+            try:
+                dst[i] = dst_position[message.dst]
+            except KeyError:
+                raise NetworkError(
+                    f"unknown destination label {message.dst!r} "
+                    f"in scheme {dst_scheme!r}"
+                ) from None
+            size_words[i] = message.size_words
+            payload_index[i] = len(payloads)
+            payloads.append(message.payload)
+        return cls(src, dst, size_words, payloads=payloads, payload_index=payload_index)

@@ -16,15 +16,25 @@ through three operations:
 * :meth:`CongestClique.broadcast_all` — concurrent full broadcasts.
 
 Node-local computation is free (the model only counts communication).
+
+Routing runs on the columnar message plane of
+:mod:`repro.congest.batch`: a :class:`MessageBatch` goes straight to the
+vectorized load histograms, and an iterable of per-message
+:class:`~repro.congest.message.Message` objects is columnarized first by
+the :meth:`MessageBatch.from_messages` compatibility shim — both paths
+charge identical Lemma 1 rounds.
 """
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterable, Sequence
+from typing import Any, Hashable, Iterable, Sequence, Union
+
+import numpy as np
 
 from repro.congest.accounting import RoundLedger
+from repro.congest.batch import MessageBatch
 from repro.congest.message import Message
-from repro.congest.router import route_rounds
+from repro.congest.router import batch_loads, route_rounds
 from repro.errors import NetworkError
 from repro.util.rng import RngLike, ensure_rng, spawn_rng
 
@@ -70,13 +80,26 @@ class CongestClique:
         #: affects round charges or delivery semantics.
         self.tracer = None
         self._schemes: dict[str, dict[Hashable, Node]] = {}
+        self._scheme_nodes: dict[str, list[Node]] = {}
+        self._scheme_positions: dict[str, dict[Hashable, int]] = {}
+        self._scheme_physical: dict[str, np.ndarray] = {}
         # The base scheme: one label per physical node, identity placement.
-        base = {
-            i: Node(i, i, spawn_rng(self.rng)) for i in range(num_nodes)
-        }
-        self._schemes["base"] = base
+        base_nodes = [Node(i, i, spawn_rng(self.rng)) for i in range(num_nodes)]
+        self._install_scheme("base", base_nodes)
 
     # -- labeling schemes ------------------------------------------------
+
+    def _install_scheme(self, name: str, nodes: list[Node]) -> dict[Hashable, Node]:
+        scheme = {node.label: node for node in nodes}
+        self._schemes[name] = scheme
+        self._scheme_nodes[name] = nodes
+        self._scheme_positions[name] = {
+            node.label: position for position, node in enumerate(nodes)
+        }
+        self._scheme_physical[name] = np.array(
+            [node.physical for node in nodes], dtype=np.int64
+        )
+        return scheme
 
     def register_scheme(self, name: str, labels: Sequence[Hashable]) -> dict[Hashable, Node]:
         """Create (or replace) a labeling scheme.
@@ -91,12 +114,11 @@ class CongestClique:
             raise NetworkError("the 'base' scheme is reserved")
         if len(set(labels)) != len(labels):
             raise NetworkError(f"scheme {name!r} has duplicate labels")
-        scheme = {
-            label: Node(label, index % self.num_nodes, spawn_rng(self.rng))
+        nodes = [
+            Node(label, index % self.num_nodes, spawn_rng(self.rng))
             for index, label in enumerate(labels)
-        }
-        self._schemes[name] = scheme
-        return scheme
+        ]
+        return self._install_scheme(name, nodes)
 
     def scheme(self, name: str) -> dict[Hashable, Node]:
         """The label → node mapping of a registered scheme."""
@@ -105,19 +127,35 @@ class CongestClique:
         except KeyError:
             raise NetworkError(f"unknown labeling scheme {name!r}") from None
 
+    def scheme_positions(self, name: str) -> dict[Hashable, int]:
+        """Label → position (registration order) of a registered scheme.
+
+        Positions are the label indices the columnar message plane routes
+        on; for ``"base"`` the position equals the physical node index.
+        """
+        self.scheme(name)
+        return self._scheme_positions[name]
+
+    def scheme_physical(self, name: str) -> np.ndarray:
+        """Physical host per label position — ``position % num_nodes`` for
+        round-robin schemes, exposed as an array so call sites can build
+        columnar batches arithmetically."""
+        self.scheme(name)
+        return self._scheme_physical[name]
+
     def node(self, index: int) -> Node:
         """The base-scheme node with physical index ``index``."""
         return self._schemes["base"][index]
 
     def base_nodes(self) -> list[Node]:
         """All base-scheme nodes in index order."""
-        return [self._schemes["base"][i] for i in range(self.num_nodes)]
+        return self._scheme_nodes["base"]
 
     # -- communication ----------------------------------------------------
 
     def deliver(
         self,
-        messages: Iterable[Message],
+        messages: Union[MessageBatch, Iterable[Message]],
         phase: str,
         *,
         scheme: str = "base",
@@ -125,44 +163,68 @@ class CongestClique:
     ) -> float:
         """Route a batch of messages and charge rounds by Lemma 1.
 
+        ``messages`` is either a columnar :class:`MessageBatch` (label
+        positions resolved against ``scheme``/``dst_scheme``) or any
+        iterable of :class:`Message` objects, which the compatibility shim
+        columnarizes first; the Lemma 1 charge is identical either way.
         ``scheme``/``dst_scheme`` name the labeling schemes of the message
         sources and destinations (defaulting to the same scheme).  Returns
         the rounds charged.
         """
-        src_nodes = self.scheme(scheme)
-        dst_nodes = self.scheme(dst_scheme or scheme)
-        batch = list(messages)
-        if not batch:
+        dst_scheme = dst_scheme or scheme
+        if not isinstance(messages, MessageBatch):
+            messages = MessageBatch.from_messages(
+                messages,
+                self.scheme_positions(scheme),
+                self.scheme_positions(dst_scheme),
+                src_scheme=scheme,
+                dst_scheme=dst_scheme,
+            )
+        return self._deliver_batch(messages, phase, scheme, dst_scheme)
+
+    def _deliver_batch(
+        self, batch: MessageBatch, phase: str, scheme: str, dst_scheme: str
+    ) -> float:
+        if not len(batch):
             return 0.0
-        src_load = [0] * self.num_nodes
-        dst_load = [0] * self.num_nodes
-        for message in batch:
-            try:
-                src = src_nodes[message.src]
-            except KeyError:
-                raise NetworkError(
-                    f"unknown source label {message.src!r} in scheme {scheme!r}"
-                ) from None
-            try:
-                dst = dst_nodes[message.dst]
-            except KeyError:
-                raise NetworkError(
-                    f"unknown destination label {message.dst!r} "
-                    f"in scheme {dst_scheme or scheme!r}"
-                ) from None
-            src_load[src.physical] += message.size_words
-            dst_load[dst.physical] += message.size_words
-            dst.inbox.append((message.src, message.payload))
+        src_physical = self.scheme_physical(scheme)
+        dst_physical = self.scheme_physical(dst_scheme)
+        if batch.src.size and (
+            int(batch.src.min()) < 0 or int(batch.src.max()) >= src_physical.size
+        ):
+            raise NetworkError(f"source position out of range in scheme {scheme!r}")
+        if batch.dst.size and (
+            int(batch.dst.min()) < 0 or int(batch.dst.max()) >= dst_physical.size
+        ):
+            raise NetworkError(
+                f"destination position out of range in scheme {dst_scheme!r}"
+            )
+        src_load, dst_load = batch_loads(
+            self.num_nodes,
+            src_physical[batch.src],
+            dst_physical[batch.dst],
+            batch.size_words,
+        )
         rounds = route_rounds(self.num_nodes, src_load, dst_load)
         self.ledger.charge(phase, rounds)
+        if batch.payloads is not None:
+            src_nodes = self._scheme_nodes[scheme]
+            dst_nodes = self._scheme_nodes[dst_scheme]
+            for i in range(len(batch)):
+                index = int(batch.payload_index[i])
+                if index < 0:
+                    continue
+                dst_nodes[int(batch.dst[i])].inbox.append(
+                    (src_nodes[int(batch.src[i])].label, batch.payloads[index])
+                )
         if self.tracer is not None:
             self.tracer.record(
                 phase,
                 "deliver",
                 num_messages=len(batch),
-                total_words=sum(message.size_words for message in batch),
-                max_src_load=max(src_load),
-                max_dst_load=max(dst_load),
+                total_words=batch.total_words,
+                max_src_load=int(src_load.max()),
+                max_dst_load=int(dst_load.max()),
                 rounds=rounds,
             )
         return rounds
@@ -211,6 +273,53 @@ class CongestClique:
                 num_messages=len(payloads) * self.num_nodes,
                 total_words=total * self.num_nodes,
                 max_src_load=max(per_physical),
+                max_dst_load=total,
+                rounds=rounds,
+            )
+        return rounds
+
+    def broadcast_volume(
+        self,
+        positions: np.ndarray,
+        size_words: np.ndarray,
+        phase: str,
+        *,
+        scheme: str = "base",
+    ) -> float:
+        """Payload-elided concurrent broadcasts in columnar form.
+
+        ``positions[i]`` (a label position in ``scheme``) broadcasts
+        ``size_words[i]`` words to every base node.  The charge is the same
+        per-physical-node maximum as :meth:`broadcast_all` — computed with
+        one histogram — but no inbox is touched, for protocols whose
+        receiver-side state the simulator computes directly (e.g. the
+        Bellman–Ford relaxations).
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        sizes = np.asarray(size_words, dtype=np.int64)
+        if positions.shape != sizes.shape or positions.ndim != 1:
+            raise NetworkError("positions and size_words must align")
+        if positions.size == 0:
+            return 0.0
+        if sizes.min() <= 0:
+            raise NetworkError("broadcast of non-positive size")
+        physical = self.scheme_physical(scheme)
+        if int(positions.min()) < 0 or int(positions.max()) >= physical.size:
+            raise NetworkError(f"broadcaster position out of range in {scheme!r}")
+        per_physical = np.bincount(
+            physical[positions], weights=sizes.astype(np.float64),
+            minlength=self.num_nodes,
+        )
+        rounds = float(per_physical.max())
+        self.ledger.charge(phase, rounds)
+        if self.tracer is not None:
+            total = int(sizes.sum())
+            self.tracer.record(
+                phase,
+                "broadcast",
+                num_messages=int(positions.size) * self.num_nodes,
+                total_words=total * self.num_nodes,
+                max_src_load=int(per_physical.max()),
                 max_dst_load=total,
                 rounds=rounds,
             )

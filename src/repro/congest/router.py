@@ -18,21 +18,49 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.util.mathutil import ceil_div
+
+
+def _max_load(src_load: Sequence[int], dst_load: Sequence[int]) -> int:
+    src = np.asarray(src_load)
+    dst = np.asarray(dst_load)
+    src_max = int(src.max()) if src.size else 0
+    dst_max = int(dst.max()) if dst.size else 0
+    return max(src_max, dst_max)
 
 
 def route_rounds(
     num_nodes: int, src_load: Sequence[int], dst_load: Sequence[int]
 ) -> float:
     """Rounds to deliver a batch with the given per-node word loads."""
-    max_load = max(max(src_load, default=0), max(dst_load, default=0))
+    max_load = _max_load(src_load, dst_load)
     if max_load == 0:
         return 0.0
-    return 2.0 * ceil_div(int(max_load), num_nodes)
+    return 2.0 * ceil_div(max_load, num_nodes)
 
 
 def balanced(num_nodes: int, src_load: Sequence[int], dst_load: Sequence[int]) -> bool:
     """True iff the batch satisfies Lemma 1's premise directly
     (no source or destination exceeds ``n`` words)."""
-    max_load = max(max(src_load, default=0), max(dst_load, default=0))
-    return max_load <= num_nodes
+    return _max_load(src_load, dst_load) <= num_nodes
+
+
+def batch_loads(
+    num_nodes: int,
+    src_physical: np.ndarray,
+    dst_physical: np.ndarray,
+    size_words: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-physical-node word-load histograms of a columnar batch.
+
+    ``src_physical``/``dst_physical`` give each message's physical source
+    and destination node, ``size_words`` its declared size; the histograms
+    are exactly the ``src_load``/``dst_load`` vectors Lemma 1 charges on —
+    computed in one pass with ``np.bincount`` instead of a per-message loop.
+    """
+    weights = np.asarray(size_words, dtype=np.float64)
+    src_load = np.bincount(src_physical, weights=weights, minlength=num_nodes)
+    dst_load = np.bincount(dst_physical, weights=weights, minlength=num_nodes)
+    return src_load.astype(np.int64), dst_load.astype(np.int64)

@@ -27,6 +27,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.congest.batch import MessageBatch
 from repro.congest.message import Message
 from repro.congest.network import CongestClique
 from repro.congest.partitions import CliquePartitions
@@ -166,15 +167,53 @@ def _step1_load(
     row restricted to the coarse block ``v`` (``f(w, v)`` values).
 
     By default payloads are elided (the simulator computes the resulting
-    node-local tables directly from the instance matrix); sizes are exact
+    node-local tables directly from the instance matrix) and the traffic is
+    a columnar :class:`MessageBatch` built arithmetically — sizes are exact
     either way, so the Lemma 1 charge is exact.  Passing the ``witness``
     matrix attaches the *actual* row slices, tagged with their role, so the
     fidelity tests can rebuild each triple node's local tables purely from
-    its inbox and prove the elision faithful.
+    its inbox and prove the elision faithful; that path keeps per-message
+    objects (the payloads are per-message anyway).
     """
-    messages: list[Message] = []
     coarse = partitions.coarse
     fine = partitions.fine
+    if witness is None:
+        num_coarse = partitions.num_coarse
+        num_fine = partitions.num_fine
+        fine_sizes = np.array([len(block) for block in fine.blocks()], dtype=np.int64)
+        fine_positions = np.arange(num_fine, dtype=np.int64)
+        # Concatenating the (contiguous, ordered) fine blocks covers V in
+        # order, so the w-side sources of one (bu, bv, ·) slab are 0..n−1.
+        all_vertices = np.arange(partitions.num_vertices, dtype=np.int64)
+        src_parts: list[np.ndarray] = []
+        dst_parts: list[np.ndarray] = []
+        size_parts: list[np.ndarray] = []
+        for bu in range(num_coarse):
+            rows_u = coarse.block(bu)
+            for bv in range(num_coarse):
+                base = (bu * num_coarse + bv) * num_fine
+                size_coarse = len(coarse.block(bv))
+                # u-side: every u ∈ bu sends its fine-block slice to each
+                # triple node (bu, bv, bw).
+                src_parts.append(np.tile(rows_u, num_fine))
+                dst_parts.append(np.repeat(base + fine_positions, len(rows_u)))
+                size_parts.append(np.repeat(fine_sizes, len(rows_u)))
+                # w-side: every w ∈ bw sends its coarse-block slice there.
+                src_parts.append(all_vertices)
+                dst_parts.append(np.repeat(base + fine_positions, fine_sizes))
+                size_parts.append(
+                    np.full(partitions.num_vertices, size_coarse, dtype=np.int64)
+                )
+        batch = MessageBatch(
+            np.concatenate(src_parts),
+            np.concatenate(dst_parts),
+            np.concatenate(size_parts),
+        )
+        network.deliver(
+            batch, "compute_pairs.step1_load", scheme="base", dst_scheme="triple"
+        )
+        return
+    messages: list[Message] = []
     for bu in range(partitions.num_coarse):
         rows_u = coarse.block(bu)
         for bv in range(partitions.num_coarse):
@@ -185,18 +224,10 @@ def _step1_load(
                 size_fine = len(fine_block)
                 size_coarse = len(coarse_block)
                 for u in rows_u.tolist():
-                    payload = (
-                        ("uw", u, witness[u, fine_block].copy())
-                        if witness is not None
-                        else None
-                    )
+                    payload = ("uw", u, witness[u, fine_block].copy())
                     messages.append(Message(u, label, payload, size_words=size_fine))
                 for w in fine_block.tolist():
-                    payload = (
-                        ("wv", w, witness[w, coarse_block].copy())
-                        if witness is not None
-                        else None
-                    )
+                    payload = ("wv", w, witness[w, coarse_block].copy())
                     messages.append(Message(w, label, payload, size_words=size_coarse))
     network.deliver(
         messages, "compute_pairs.step1_load", scheme="base", dst_scheme="triple"
@@ -226,10 +257,14 @@ def _step2_sample(
     pair_weights = instance.effective_pair_graph().weights
     coarse = partitions.coarse
 
-    request_messages: list[Message] = []
-    reply_messages: list[Message] = []
+    # Request/reply traffic in columnar form: search-node position, pair
+    # owner, and pair count per (node, owner) edge of the loading pattern.
+    search_positions: list[np.ndarray] = []
+    owner_vertices: list[np.ndarray] = []
+    owner_counts: list[np.ndarray] = []
     node_pairs: dict[tuple[int, int, int], tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
     covered: set[tuple[int, int]] = set()
+    num_fine = partitions.num_fine
 
     for bu in range(partitions.num_coarse):
         for bv in range(partitions.num_coarse):
@@ -263,15 +298,13 @@ def _step2_sample(
                 # Load pair weights & scope bits from the pair owners: the
                 # request names each pair (1 word), the reply carries weight
                 # plus membership (2 words).
-                owners = lam[:, 0]
-                for owner in np.unique(owners).tolist():
-                    count = int((owners == owner).sum())
-                    request_messages.append(
-                        Message(label, int(owner), None, size_words=count)
-                    )
-                    reply_messages.append(
-                        Message(int(owner), label, None, size_words=2 * count)
-                    )
+                owners, counts = np.unique(lam[:, 0], return_counts=True)
+                position = (bu * partitions.num_coarse + bv) * num_fine + x
+                search_positions.append(
+                    np.full(owners.size, position, dtype=np.int64)
+                )
+                owner_vertices.append(owners)
+                owner_counts.append(counts)
                 keep_rows = [
                     index
                     for index, (a, b) in enumerate(map(tuple, lam.tolist()))
@@ -285,11 +318,19 @@ def _step2_sample(
                 )
                 node_pairs[label] = (kept, weights, witness_table)
 
+    if search_positions:
+        nodes = np.concatenate(search_positions)
+        owners = np.concatenate(owner_vertices)
+        counts = np.concatenate(owner_counts)
+    else:
+        nodes = owners = counts = np.empty(0, dtype=np.int64)
     network.deliver(
-        request_messages, "compute_pairs.step2_request", scheme="search", dst_scheme="base"
+        MessageBatch(nodes, owners, counts),
+        "compute_pairs.step2_request", scheme="search", dst_scheme="base",
     )
     network.deliver(
-        reply_messages, "compute_pairs.step2_reply", scheme="base", dst_scheme="search"
+        MessageBatch(owners, nodes, 2 * counts),
+        "compute_pairs.step2_reply", scheme="base", dst_scheme="search",
     )
 
     eligible = {

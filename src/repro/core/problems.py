@@ -22,7 +22,10 @@ import numpy as np
 from repro.congest.accounting import RoundLedger
 from repro.errors import GraphError, PromiseViolationError
 from repro.graphs.digraph import UndirectedWeightedGraph, pair_key
-from repro.graphs.triangles import witnessed_negative_pair_counts
+from repro.graphs.triangles import (
+    witnessed_negative_pair_counts,
+    witnessed_two_hop_min,
+)
 
 #: A pair set is a set of canonical (sorted) vertex-index tuples.
 PairSet = set[tuple[int, int]]
@@ -55,11 +58,19 @@ class FindEdgesInstance:
         if pairs.num_vertices != self.graph.num_vertices:
             raise GraphError("witness and pair graphs must have the same vertex set")
         if self.scope is not None:
-            normalized = {pair_key(u, v) for (u, v) in self.scope}
-            for u, v in normalized:
-                if not 0 <= u < self.graph.num_vertices or not 0 <= v < self.graph.num_vertices:
-                    raise GraphError(f"scope pair ({u}, {v}) out of range")
-            self.scope = normalized
+            if self.scope:
+                arr = np.array(list(self.scope), dtype=np.int64)
+                arr.sort(axis=1)
+                if int(arr.min()) < 0 or int(arr.max()) >= self.graph.num_vertices:
+                    bad = arr[
+                        (arr[:, 0] < 0) | (arr[:, 1] >= self.graph.num_vertices)
+                    ][0]
+                    raise GraphError(
+                        f"scope pair ({int(bad[0])}, {int(bad[1])}) out of range"
+                    )
+                self.scope = set(map(tuple, arr.tolist()))
+            else:
+                self.scope = set()
 
     @property
     def num_vertices(self) -> int:
@@ -82,17 +93,35 @@ class FindEdgesInstance:
         )
 
     def reference_solution(self) -> PairSet:
-        """Ground-truth output: scope pairs with ``Γ(u, v) > 0``."""
-        counts = self.triangle_counts()
-        return {pair for pair in self.effective_scope() if counts[pair] > 0}
+        """Ground-truth output: scope pairs with ``Γ(u, v) > 0``.
+
+        Uses the two-hop min-plus existence test rather than full triangle
+        counting (``Γ > 0 ⟺ min_w two-hop < −f(u, v)``) — the counts are
+        only needed by the promise checks.
+        """
+        scope = self.effective_scope()
+        if not scope:
+            return set()
+        pair_weights = self.effective_pair_graph().weights
+        pairs = np.array(list(scope), dtype=np.int64)
+        us, vs = pairs[:, 0], pairs[:, 1]
+        rows = np.unique(us)
+        cols = np.unique(vs)
+        two_hop = witnessed_two_hop_min(self.graph.weights, rows, cols)
+        w = pair_weights[us, vs]
+        hit = np.isfinite(w) & (
+            two_hop[np.searchsorted(rows, us), np.searchsorted(cols, vs)] < -w
+        )
+        return set(map(tuple, pairs[hit].tolist()))
 
     def max_scope_triangle_count(self) -> int:
         """``max_{pair ∈ S} Γ(u, v)`` — the quantity the promise bounds."""
-        counts = self.triangle_counts()
         scope = self.effective_scope()
         if not scope:
             return 0
-        return max(int(counts[pair]) for pair in scope)
+        counts = self.triangle_counts()
+        pairs = np.array(list(scope), dtype=np.int64)
+        return int(counts[pairs[:, 0], pairs[:, 1]].max())
 
     def check_promise(self, bound: float) -> None:
         """Raise :class:`PromiseViolationError` unless ``Γ(u, v) ≤ bound``

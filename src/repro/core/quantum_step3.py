@@ -211,20 +211,18 @@ def _run_class(
         pairs, _weights, witness_table = node_pairs[label]
         if len(pairs) == 0:
             continue
-        block_positions = {bw: index for index, bw in enumerate(blocks)}
         columns = np.array(blocks, dtype=np.int64)
         sub_table = witness_table[:, columns]  # (num_pairs, |X|)
-        marked_sets = [np.nonzero(row)[0] for row in sub_table]
         search = MultiSearch(
             len(blocks),
-            marked_sets,
+            marked_table=sub_table,
             beta=beta,
             eval_rounds=eval_r,
             amplification=amplification,
             rng=spawn_rng(generator),
         )
         result = search.run(schedule=schedule)
-        report.total_searches += len(marked_sets)
+        report.total_searches += len(sub_table)
         report.typicality_truncations += result.typicality.truncated_entries
         report.corrupted_repetitions += result.corrupted_repetitions
         phase_rounds = max(phase_rounds, result.rounds)

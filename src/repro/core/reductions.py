@@ -88,14 +88,22 @@ def distance_product_via_find_edges(
         ledger.merge(solution.ledger, prefix=f"product.call{calls}.")
         return solution.pairs
 
-    all_pairs = {(i, n + j) for i in range(n) for j in range(n)}
+    def pair_mask(pairs: set[tuple[int, int]]) -> np.ndarray:
+        """Solution pairs ``(i, n + j)`` as a boolean ``(n, n)`` mask."""
+        mask = np.zeros((n, n), dtype=bool)
+        if pairs:
+            arr = np.array(list(pairs), dtype=np.int64)
+            mask[arr[:, 0], arr[:, 1] - n] = True
+        return mask
+
+    def mask_scope(mask: np.ndarray) -> set[tuple[int, int]]:
+        """The scope pairs ``(i, n + j)`` selected by a boolean mask."""
+        us, vs = np.nonzero(mask)
+        return set(zip(us.tolist(), (vs + n).tolist()))
 
     # Phase 1: +∞ detection.  C[i, j] is finite iff it is < 2M + 1.
     d0 = np.full((n, n), float(2 * bound + 1))
-    finite_pairs = run_call(d0, set(all_pairs))
-    finite_mask = np.zeros((n, n), dtype=bool)
-    for i, j_shifted in finite_pairs:
-        finite_mask[i, j_shifted - n] = True
+    finite_mask = pair_mask(run_call(d0, mask_scope(np.ones((n, n), dtype=bool))))
 
     # Phase 2: bisection over [−2M, 2M] for finite entries.
     lo = np.full((n, n), float(-2 * bound))
@@ -106,13 +114,7 @@ def distance_product_via_find_edges(
             break
         mid = np.floor((lo + hi) / 2.0)
         d_matrix = np.where(active, mid, NEG_SENTINEL)
-        scope = {
-            (int(i), int(n + j)) for i, j in zip(*np.nonzero(active))
-        }
-        below = run_call(d_matrix, scope)
-        below_mask = np.zeros((n, n), dtype=bool)
-        for i, j_shifted in below:
-            below_mask[i, j_shifted - n] = True
+        below_mask = pair_mask(run_call(d_matrix, mask_scope(active)))
         hi = np.where(active & below_mask, mid, hi)
         lo = np.where(active & ~below_mask, mid, lo)
 

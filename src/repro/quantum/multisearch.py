@@ -170,6 +170,11 @@ class MultiSearch:
         ``marked_sets[ℓ]`` is the array of solutions of search ``ℓ``
         (possibly empty).  The simulator needs the full truth tables for the
         same reason as :class:`~repro.quantum.distributed.DistributedQuantumSearch`.
+    marked_table:
+        Alternative to ``marked_sets``: a boolean ``(m, num_items)`` truth
+        table (``marked_table[ℓ, x]`` iff ``x`` solves search ``ℓ``) —
+        exactly what Step 3 computes, stored internally in CSR form
+        without per-search array handling.  Pass exactly one of the two.
     beta:
         The typicality threshold ``β`` of ``Υβ(m, X)``.  ``None`` disables
         the typicality machinery entirely (the idealized ``C_m`` of the
@@ -185,8 +190,9 @@ class MultiSearch:
     def __init__(
         self,
         num_items: int,
-        marked_sets: Sequence[np.ndarray],
+        marked_sets: Optional[Sequence[np.ndarray]] = None,
         *,
+        marked_table: Optional[np.ndarray] = None,
         beta: Optional[float] = None,
         eval_rounds: float = 1.0,
         amplification: float = 12.0,
@@ -194,30 +200,81 @@ class MultiSearch:
     ) -> None:
         if num_items < 1:
             raise QuantumSimulationError("num_items must be positive")
-        if not marked_sets:
-            raise QuantumSimulationError("need at least one search")
+        if (marked_sets is None) == (marked_table is None):
+            raise QuantumSimulationError(
+                "pass exactly one of marked_sets and marked_table"
+            )
         self.num_items = int(num_items)
-        self.num_searches = len(marked_sets)
         self.eval_rounds = float(eval_rounds)
         self.amplification = float(amplification)
         self.rng = ensure_rng(rng)
         self.beta = None if beta is None else float(beta)
 
-        cleaned: list[np.ndarray] = []
-        for index, marked in enumerate(marked_sets):
-            arr = np.unique(np.asarray(marked, dtype=np.int64))
-            if arr.size and (arr.min() < 0 or arr.max() >= num_items):
+        if marked_table is not None:
+            table = np.asarray(marked_table, dtype=bool)
+            if table.ndim != 2 or table.shape[1] != num_items:
+                raise QuantumSimulationError(
+                    f"marked_table must have shape (m, {num_items})"
+                )
+            if table.shape[0] < 1:
+                raise QuantumSimulationError("need at least one search")
+            self.num_searches = int(table.shape[0])
+            rows, flat = np.nonzero(table)
+            counts = table.sum(axis=1).astype(np.int64)
+        else:
+            if not marked_sets:
+                raise QuantumSimulationError("need at least one search")
+            self.num_searches = len(marked_sets)
+            arrays = [
+                np.asarray(marked, dtype=np.int64).ravel() for marked in marked_sets
+            ]
+            lengths = np.array([arr.size for arr in arrays], dtype=np.int64)
+            flat = (
+                np.concatenate(arrays) if arrays else np.empty(0, dtype=np.int64)
+            )
+            rows = np.repeat(np.arange(self.num_searches), lengths)
+            if flat.size and (flat.min() < 0 or flat.max() >= num_items):
+                bad = (flat < 0) | (flat >= num_items)
+                index = int(rows[np.argmax(bad)])
                 raise QuantumSimulationError(
                     f"search {index}: marked element out of range [0, {num_items})"
                 )
-            cleaned.append(arr)
-        self._marked_original = cleaned
-        self._marked_effective, self.typicality = self._apply_typicality(cleaned)
+            # Sort by (search, item) and drop duplicates — the vectorized
+            # equivalent of a per-set np.unique.
+            order = np.lexsort((flat, rows))
+            flat = flat[order]
+            rows = rows[order]
+            if flat.size:
+                keep = np.empty(flat.size, dtype=bool)
+                keep[0] = True
+                keep[1:] = (flat[1:] != flat[:-1]) | (rows[1:] != rows[:-1])
+                flat = flat[keep]
+                rows = rows[keep]
+            counts = np.bincount(rows, minlength=self.num_searches)
+        # CSR layout: solutions of search ℓ are flat[offsets[ℓ]:offsets[ℓ+1]].
+        offsets = np.zeros(self.num_searches + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        self._marked_original = [
+            flat[offsets[i]:offsets[i + 1]] for i in range(self.num_searches)
+        ]
+        self._marked_effective, self.typicality = self._apply_typicality(
+            self._marked_original, flat
+        )
+        self._eff_counts = np.array(
+            [marked.size for marked in self._marked_effective], dtype=np.int64
+        )
+        self._eff_offsets = np.zeros(self.num_searches + 1, dtype=np.int64)
+        np.cumsum(self._eff_counts, out=self._eff_offsets[1:])
+        self._eff_flat = (
+            np.concatenate(self._marked_effective)
+            if self._marked_effective
+            else np.empty(0, dtype=np.int64)
+        )
 
     # -- typicality -----------------------------------------------------------
 
     def _apply_typicality(
-        self, marked_sets: list[np.ndarray]
+        self, marked_sets: list[np.ndarray], flat: np.ndarray
     ) -> tuple[list[np.ndarray], TypicalityReport]:
         """Check Theorem 3's assumptions and truncate atypical solutions.
 
@@ -225,12 +282,12 @@ class MultiSearch:
         first ``⌊β/2⌋`` searches (in index order) that have ``w`` marked;
         later searches lose that solution — a deterministic, reproducible
         stand-in for ``C̃_m``'s arbitrary behaviour on atypical tuples.
+        ``flat`` is the concatenation of ``marked_sets`` (the CSR value
+        column), so the per-item load histogram is one ``bincount``.
         """
         m = self.num_searches
         n_items = self.num_items
-        load = np.zeros(n_items, dtype=np.int64)
-        for marked in marked_sets:
-            load[marked] += 1
+        load = np.bincount(flat, minlength=n_items)
         max_load = int(load.max()) if n_items else 0
 
         if self.beta is None:
@@ -314,9 +371,7 @@ class MultiSearch:
         """
         m = self.num_searches
         padded_items = self.num_items + 1  # dummy solution slot
-        solution_counts = np.array(
-            [marked.size for marked in self._marked_effective], dtype=np.int64
-        )
+        solution_counts = self._eff_counts
         padded_counts = solution_counts + 1
         iteration_cap = max_iterations(padded_items)
         repetitions = len(schedule) if schedule is not None else self.max_repetitions()
@@ -350,23 +405,24 @@ class MultiSearch:
                     corrupted += 1
                     continue
 
-            pending = found < 0
-            if not pending.any():
+            pending_indices = np.nonzero(found < 0)[0]
+            if pending_indices.size == 0:
                 break
             probs = batch_success_probability(
-                padded_items, padded_counts[pending], iterations
+                padded_items, padded_counts[pending_indices], iterations
             )
             hit_marked = self.rng.random(probs.size) < probs
-            pending_indices = np.nonzero(pending)[0]
-            for local, search_index in enumerate(pending_indices.tolist()):
-                if not hit_marked[local]:
-                    continue
-                count = int(solution_counts[search_index])
-                slot = int(self.rng.integers(0, count + 1))
-                if slot < count:
-                    found[search_index] = int(
-                        self._marked_effective[search_index][slot]
-                    )
+            hits = pending_indices[hit_marked]
+            if hits.size:
+                # Measure uniformly over each hit search's padded solution
+                # set (the dummy occupies one slot); a dummy measurement
+                # verifies as "not a real solution" and the search retries.
+                slots = self.rng.integers(0, padded_counts[hits])
+                real = slots < solution_counts[hits]
+                real_hits = hits[real]
+                found[real_hits] = self._eff_flat[
+                    self._eff_offsets[real_hits] + slots[real]
+                ]
             if early_stop and (found >= 0).all():
                 break
 

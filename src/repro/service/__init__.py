@@ -38,6 +38,7 @@ from repro.service.solvers import (
     Solver,
     SolverCapabilities,
     available_solvers,
+    distributed_solvers,
     make_solver,
     register_solver,
     solver_capabilities,
@@ -59,6 +60,7 @@ __all__ = [
     "Solver",
     "SolverCapabilities",
     "available_solvers",
+    "distributed_solvers",
     "make_solver",
     "register_solver",
     "solver_capabilities",

@@ -29,6 +29,8 @@ from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.baselines.bellman_ford_distributed import bellman_ford_distributed
+from repro.baselines.censor_hillel import CensorHillelAPSP
 from repro.baselines.classical_search import GroverFreeFindEdges
 from repro.baselines.floyd_warshall import floyd_warshall
 from repro.core.apsp_solver import QuantumAPSP
@@ -44,12 +46,17 @@ class SolverCapabilities:
     ``negative_weights``/``directed`` describe accepted inputs (all current
     solvers handle both; a Dijkstra-based entry would not);
     ``rounds_accounted`` is True when ``SolveOutcome.rounds`` carries a
-    meaningful CONGEST-CLIQUE charge rather than 0.
+    meaningful CONGEST-CLIQUE charge rather than 0;
+    ``distributed`` is True when the solve actually runs on the
+    :class:`~repro.congest.network.CongestClique` simulator (message-
+    accurate traffic, per-phase ledger) rather than as a centralized
+    computation.
     """
 
     negative_weights: bool = True
     directed: bool = True
     rounds_accounted: bool = True
+    distributed: bool = False
     description: str = ""
 
 
@@ -129,6 +136,79 @@ class PipelineSolver:
         )
 
 
+class BellmanFordSolver:
+    """Distributed APSP by ``n`` synchronous Bellman–Ford SSSP runs.
+
+    The textbook ``O(n)``-rounds-per-source comparator: every source's run
+    is message-accurate on its own :class:`CongestClique` and the outcome's
+    ``rounds`` is the total charge across sources, with per-source rounds
+    and iteration counts in ``details`` — the round metadata the service
+    layer surfaces for distributed solvers.
+    """
+
+    name = "bellman-ford"
+    capabilities = SolverCapabilities(
+        distributed=True,
+        description="n × synchronous distributed Bellman–Ford SSSP (O(n²) rounds)",
+    )
+
+    def __init__(self, options: SolveOptions) -> None:
+        self.options = options
+
+    def solve(self, graph: WeightedDigraph) -> SolveOutcome:
+        started = time.perf_counter()
+        rng = np.random.default_rng(self.options.seed)
+        distances = np.empty((graph.num_vertices, graph.num_vertices))
+        rounds_per_source: list[float] = []
+        iterations = 0
+        for source in range(graph.num_vertices):
+            report = bellman_ford_distributed(graph, source, rng=rng)
+            distances[source] = report.distances
+            rounds_per_source.append(report.rounds)
+            iterations += report.iterations
+        _hold_floor(started, self.options)
+        return SolveOutcome(
+            distances=distances,
+            rounds=float(sum(rounds_per_source)),
+            solver=self.name,
+            details={
+                "sources": graph.num_vertices,
+                "relaxation_iterations": iterations,
+                "rounds_per_source": rounds_per_source,
+            },
+        )
+
+
+class CensorHillelSolver:
+    """The classical ``Õ(n^{1/3})``-round distributed APSP baseline.
+
+    Repeated distributed min-plus squaring over the cube partition
+    (Censor-Hillel et al.), message-accurate on the simulator; ``details``
+    carries the squaring count and the per-phase round breakdown.
+    """
+
+    name = "censor-hillel"
+    capabilities = SolverCapabilities(
+        distributed=True,
+        description="Censor-Hillel Õ(n^{1/3})-round distributed squaring APSP",
+    )
+
+    def __init__(self, options: SolveOptions) -> None:
+        self.options = options
+
+    def solve(self, graph: WeightedDigraph) -> SolveOutcome:
+        started = time.perf_counter()
+        report = CensorHillelAPSP(rng=self.options.seed).solve(graph)
+        _hold_floor(started, self.options)
+        return SolveOutcome(
+            distances=report.distances,
+            rounds=report.rounds,
+            solver=self.name,
+            squarings=report.squarings,
+            details={"rounds_by_phase": report.ledger.snapshot()},
+        )
+
+
 class FloydWarshallSolver:
     """The centralized ``O(n³)`` oracle — fastest wall clock, zero rounds."""
 
@@ -187,6 +267,14 @@ def available_solvers() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def distributed_solvers() -> list[str]:
+    """Sorted names of the solvers that run on the CONGEST-CLIQUE
+    simulator (``capabilities.distributed``)."""
+    return sorted(
+        name for name, spec in _REGISTRY.items() if spec.capabilities.distributed
+    )
+
+
 def solver_capabilities(name: str) -> SolverCapabilities:
     """Declared capabilities of a registered solver."""
     return _require(name).capabilities
@@ -212,7 +300,10 @@ def _quantum_factory(options: SolveOptions) -> Solver:
         lambda opts: QuantumFindEdges(
             constants=PaperConstants(scale=opts.scale), rng=opts.seed
         ),
-        SolverCapabilities(description="Õ(n^{1/4})-round quantum pipeline (Theorem 1)"),
+        SolverCapabilities(
+            distributed=True,
+            description="Õ(n^{1/4})-round quantum pipeline (Theorem 1)",
+        ),
         options,
     )
 
@@ -223,7 +314,10 @@ def _classical_factory(options: SolveOptions) -> Solver:
         lambda opts: GroverFreeFindEdges(
             constants=PaperConstants(scale=opts.scale), rng=opts.seed
         ),
-        SolverCapabilities(description="Grover-free classical pipeline"),
+        SolverCapabilities(
+            distributed=True,
+            description="Grover-free classical pipeline",
+        ),
         options,
     )
 
@@ -248,3 +342,7 @@ register_solver("reference", _reference_factory,
                 capabilities=_reference_factory(SolveOptions()).capabilities)
 register_solver("floyd-warshall", FloydWarshallSolver,
                 capabilities=FloydWarshallSolver.capabilities)
+register_solver("bellman-ford", BellmanFordSolver,
+                capabilities=BellmanFordSolver.capabilities)
+register_solver("censor-hillel", CensorHillelSolver,
+                capabilities=CensorHillelSolver.capabilities)

@@ -1,0 +1,99 @@
+"""Distributed solvers behind the service registry.
+
+The registry must expose the simulator-backed solvers as first-class
+entries: correct closures, meaningful round charges, a ``distributed``
+capability flag, and end-to-end service (jobs, queries, CLI serve-batch)
+with the round counts surfaced in the result metadata.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cli import main as cli_main
+from repro.service import (
+    JobEngine,
+    SolveOptions,
+    distributed_solvers,
+    make_solver,
+    solver_capabilities,
+)
+
+
+@pytest.fixture
+def graph():
+    return repro.random_digraph_no_negative_cycle(10, density=0.5, max_weight=6, rng=11)
+
+
+class TestRegistry:
+    def test_at_least_two_distributed_solvers(self):
+        names = distributed_solvers()
+        assert "bellman-ford" in names
+        assert "censor-hillel" in names
+        assert len(names) >= 2
+
+    def test_distributed_flag_matches_capabilities(self):
+        for name in distributed_solvers():
+            assert solver_capabilities(name).distributed
+        assert not solver_capabilities("floyd-warshall").distributed
+        assert not solver_capabilities("reference").distributed
+
+
+class TestBellmanFordSolver:
+    def test_correct_and_rounds_accounted(self, graph):
+        outcome = make_solver("bellman-ford", SolveOptions(seed=2)).solve(graph)
+        assert np.array_equal(outcome.distances, repro.floyd_warshall(graph))
+        assert outcome.rounds > 0
+        assert outcome.details["sources"] == graph.num_vertices
+        assert outcome.details["relaxation_iterations"] >= graph.num_vertices
+        per_source = outcome.details["rounds_per_source"]
+        assert len(per_source) == graph.num_vertices
+        assert sum(per_source) == pytest.approx(outcome.rounds)
+
+    def test_negative_cycle_fails_job(self):
+        weights = np.full((3, 3), np.inf)
+        np.fill_diagonal(weights, 0.0)
+        weights[0, 1] = -2.0
+        weights[1, 2] = -2.0
+        weights[2, 0] = -2.0
+        engine = JobEngine(solver="bellman-ford")
+        job = engine.submit(repro.WeightedDigraph(weights))
+        engine.run_pending()
+        assert job.error_type == "NegativeCycleError"
+
+
+class TestCensorHillelSolver:
+    def test_correct_with_phase_breakdown(self, graph):
+        outcome = make_solver("censor-hillel", SolveOptions(seed=2)).solve(graph)
+        assert np.array_equal(outcome.distances, repro.floyd_warshall(graph))
+        assert outcome.rounds > 0
+        assert outcome.squarings >= 1
+        phases = outcome.details["rounds_by_phase"]
+        assert sum(phases.values()) == pytest.approx(outcome.rounds)
+
+
+class TestServiceIntegration:
+    def test_jobs_carry_round_metadata(self, graph):
+        engine = JobEngine(solver="censor-hillel", options=SolveOptions(seed=1))
+        job = engine.submit(graph)
+        artifact = engine.result(job.job_id)
+        assert artifact.solver == "censor-hillel"
+        assert artifact.rounds > 0
+        # A resubmission is served from cache with the same round charge.
+        cached = engine.submit(graph)
+        assert cached.cache_hit
+        assert cached.artifact.rounds == artifact.rounds
+
+    def test_serve_batch_cli_end_to_end(self, capsys):
+        exit_code = cli_main(
+            [
+                "serve-batch",
+                "--count", "2",
+                "--n", "8",
+                "--solver", "bellman-ford",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "solver=bellman-ford" in out
+        assert "rounds=" in out
