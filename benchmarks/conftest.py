@@ -13,7 +13,9 @@ would multiply minutes of simulation for no extra information.
 
 from __future__ import annotations
 
+import json
 import pathlib
+import subprocess
 
 import numpy as np
 import pytest
@@ -27,6 +29,47 @@ def write_result(name: str, text: str) -> None:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[written to {path}]")
+
+
+def current_commit() -> str:
+    """Short hash of HEAD, or "unknown" outside a git checkout."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def write_metrics(experiment: str, records: list[dict]) -> None:
+    """Persist machine-readable metrics as ``results/<experiment>.json``.
+
+    Each record carries the cross-PR diffable schema — ``experiment``,
+    ``n``, ``wall_seconds``, ``rounds``, ``commit`` — plus any extra keys
+    the experiment finds useful; ``tools/bench_summary.py`` rolls every
+    such file into ``BENCH_SUMMARY.json`` for trajectory diffs.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    commit = current_commit()
+    payload = [
+        {
+            "experiment": experiment,
+            "n": record.get("n"),
+            "wall_seconds": record.get("wall_seconds"),
+            "rounds": record.get("rounds"),
+            "commit": commit,
+            **{
+                key: value
+                for key, value in record.items()
+                if key not in ("n", "wall_seconds", "rounds")
+            },
+        }
+        for record in records
+    ]
+    path = RESULTS_DIR / f"{experiment}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture

@@ -12,6 +12,8 @@ paper's analysis quotes.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -22,7 +24,7 @@ from repro.congest.network import CongestClique
 from repro.congest.partitions import CliquePartitions
 from repro.core.compute_pairs import _step1_load
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import write_metrics, write_result
 
 
 def synthetic_batches(n: int):
@@ -68,7 +70,16 @@ def test_e10_routing(benchmark):
 
     # Step-1 gather: per-node Θ(n^{5/4}) words ⇒ ~n^{1/4} rounds.
     sizes = [16, 81, 256, 625]
-    rounds = [step1_rounds(n) for n in sizes]
+    rounds = []
+    metrics = []
+    for n in sizes:
+        start = time.perf_counter()
+        charged = step1_rounds(n)
+        wall = time.perf_counter() - start
+        rounds.append(charged)
+        metrics.append(
+            {"n": n, "wall_seconds": round(wall, 4), "rounds": charged}
+        )
     exponent, _, r2 = fit_exponent(sizes, rounds)
     rows = [[n, r, 4 * n ** 0.25] for n, r in zip(sizes, rounds)]
     table = format_table(
@@ -77,6 +88,7 @@ def test_e10_routing(benchmark):
         title=f"E10b  ComputePairs Step-1 gather (fitted exponent {exponent:.2f}, paper: 1/4)",
     )
     write_result("e10b_step1_gather", table)
+    write_metrics("e10b_step1_gather", metrics)
     assert 0.1 < exponent < 0.4
     assert r2 > 0.9
 

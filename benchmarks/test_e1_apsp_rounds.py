@@ -16,6 +16,8 @@ shape is the exponent gap visible in the fitted slopes and the model.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -23,7 +25,7 @@ import repro
 from repro.analysis import RoundModel, fit_exponent, format_table
 from repro.core.constants import PaperConstants
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import write_metrics, write_result
 
 SIZES = [8, 12, 16]
 CONSTANTS = PaperConstants(scale=0.5)
@@ -45,8 +47,14 @@ def test_e1_apsp_rounds(benchmark):
     rows = []
     quantum_rounds = []
     classical_rounds = []
+    metrics = []
     for n in SIZES:
+        start = time.perf_counter()
         graph, truth, q_report = run_quantum(n, seed=7)
+        wall = time.perf_counter() - start
+        metrics.append(
+            {"n": n, "wall_seconds": round(wall, 4), "rounds": q_report.rounds}
+        )
         dolev = repro.QuantumAPSP(backend=repro.DolevFindEdges(rng=7)).solve(graph)
         ch = repro.CensorHillelAPSP(rng=7).solve(graph)
         assert np.array_equal(q_report.distances, truth)
@@ -79,6 +87,7 @@ def test_e1_apsp_rounds(benchmark):
         ),
     )
     write_result("e1_apsp_rounds", table)
+    write_metrics("e1_apsp_rounds", metrics)
 
     # All solvers correct on every size; benchmark one quantum solve.
     benchmark.pedantic(run_quantum, args=(8, 3), rounds=1, iterations=1)

@@ -54,54 +54,42 @@ def distributed_minplus_product(
     triples = [(x, y, z) for x in range(q) for y in range(q) for z in range(q)]
     network.register_scheme("ch_triples", triples)
 
-    # Gather: triple (A, B, C) needs A[A, C] (rows owned by A's vertices)
-    # and B[C, B] (rows owned by C's vertices).  Both phases are columnar
-    # batches; the aggregate reverses the x-side of the gather with the
-    # (|A| × |B|) partial min matrix going back one row slice per owner.
-    block_sizes = np.array(
-        [len(partition.block(b)) for b in range(q)], dtype=np.int64
-    )
-    gather_src: list[np.ndarray] = []
-    gather_dst: list[np.ndarray] = []
-    gather_size: list[np.ndarray] = []
-    agg_src: list[np.ndarray] = []
-    agg_dst: list[np.ndarray] = []
-    agg_size: list[np.ndarray] = []
-    for position, (x, y, z) in enumerate(triples):
-        block_x = partition.block(x)
-        block_z = partition.block(z)
-        senders = np.concatenate([block_x, block_z])
-        gather_src.append(senders)
-        gather_dst.append(np.full(senders.size, position, dtype=np.int64))
-        gather_size.append(
-            np.concatenate(
-                [
-                    np.full(block_x.size, block_sizes[z], dtype=np.int64),
-                    np.full(block_z.size, block_sizes[y], dtype=np.int64),
-                ]
-            )
-        )
-        agg_src.append(np.full(block_x.size, position, dtype=np.int64))
-        agg_dst.append(block_x)
-        agg_size.append(np.full(block_x.size, block_sizes[y], dtype=np.int64))
+    gather, aggregate = censor_hillel_batches(partition, q)
+    network.deliver(gather, "ch.gather", scheme="base", dst_scheme="ch_triples")
     network.deliver(
-        MessageBatch(
-            np.concatenate(gather_src),
-            np.concatenate(gather_dst),
-            np.concatenate(gather_size),
-        ),
-        "ch.gather", scheme="base", dst_scheme="ch_triples",
-    )
-    network.deliver(
-        MessageBatch(
-            np.concatenate(agg_src),
-            np.concatenate(agg_dst),
-            np.concatenate(agg_size),
-        ),
-        "ch.aggregate", scheme="ch_triples", dst_scheme="base",
+        aggregate, "ch.aggregate", scheme="ch_triples", dst_scheme="base"
     )
 
     return distance_product(a, b), network.ledger
+
+
+def censor_hillel_batches(
+    partition: BlockPartition, q: int
+) -> tuple[MessageBatch, MessageBatch]:
+    """The cube-partition traffic as arithmetic batches.
+
+    Triple position ``p`` decomposes as ``(x, y, z) = (p // q², (p // q) % q,
+    p % q)``.  The gather is two range-product families — triple ``p`` pulls
+    ``A[X, Z]`` rows from ``X``'s vertices (``|Z|`` words each) and
+    ``B[Z, Y]`` rows from ``Z``'s vertices (``|Y|`` words each) — and the
+    aggregate is the mirrored scatter of the ``|Y|``-wide partial rows back
+    to the owners in ``X``.  The loop form survives as
+    :func:`repro.core._reference.censor_hillel_batches_loops`.
+    """
+    starts = partition.block_starts()
+    sizes = partition.block_sizes()
+    positions = np.arange(q * q * q, dtype=np.int64)
+    x = positions // (q * q)
+    y = (positions // q) % q
+    z = positions % q
+    gather = MessageBatch.concat(
+        [
+            MessageBatch.from_range_product(starts[x], sizes[x], positions, sizes[z]),
+            MessageBatch.from_range_product(starts[z], sizes[z], positions, sizes[y]),
+        ]
+    )
+    aggregate = MessageBatch.to_range_product(positions, starts[x], sizes[x], sizes[y])
+    return gather, aggregate
 
 
 @dataclass

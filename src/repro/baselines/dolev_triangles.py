@@ -29,6 +29,32 @@ from repro.core.problems import FindEdgesInstance, FindEdgesSolution
 from repro.util.rng import RngLike, ensure_rng
 
 
+def dolev_gather_batch(
+    partition: BlockPartition, triples: list[tuple[int, int, int]]
+) -> MessageBatch:
+    """The Dolev gather traffic as one arithmetic batch (see
+    :meth:`DolevFindEdges._charge_gather` for the pattern).  Triple entries
+    may arrive in any order; each triple's *distinct* blocks send."""
+    starts = partition.block_starts()
+    sizes = partition.block_sizes()
+    grid = np.sort(np.asarray(triples, dtype=np.int64), axis=1)
+    keep = np.ones_like(grid, dtype=bool)
+    keep[:, 1:] = grid[:, 1:] != grid[:, :-1]
+    cell_triple = np.repeat(np.arange(grid.shape[0], dtype=np.int64), keep.sum(axis=1))
+    cell_block = grid[keep]
+    # Per-triple sender totals decide the 2-words-per-entry row width.
+    sender_total = np.bincount(
+        cell_triple, weights=sizes[cell_block].astype(np.float64),
+        minlength=grid.shape[0],
+    ).astype(np.int64)
+    return MessageBatch.from_range_product(
+        starts[cell_block],
+        sizes[cell_block],
+        cell_triple,
+        2 * sender_total[cell_triple],
+    )
+
+
 class DolevFindEdges:
     """Classical ``Õ(n^{1/3})``-round exact FindEdges solver."""
 
@@ -69,25 +95,16 @@ class DolevFindEdges:
         block pair, both needed for the asymmetric triangle test).
 
         Every vertex of each block ships its row restricted to the union of
-        the triple's blocks (witness + pair weight: 2 words per entry);
-        the traffic is one columnar batch over the triple scheme.
+        the triple's blocks (witness + pair weight: 2 words per entry).
+        The batch is built arithmetically over the (triple, distinct block)
+        incidence grid: triples arrive sorted, so deduplicating each row
+        against its left neighbour masks out the repeats, and each surviving
+        incidence cell is one contiguous sender range.  The loop form lives
+        in :func:`repro.core._reference.dolev_gather_loops`.
         """
-        src_parts: list[np.ndarray] = []
-        dst_parts: list[np.ndarray] = []
-        size_parts: list[np.ndarray] = []
-        for position, triple in enumerate(triples):
-            blocks = sorted(set(triple))
-            senders = np.concatenate([partition.block(b) for b in blocks])
-            src_parts.append(senders)
-            dst_parts.append(np.full(senders.size, position, dtype=np.int64))
-            size_parts.append(np.full(senders.size, 2 * senders.size, dtype=np.int64))
-        batch = MessageBatch(
-            np.concatenate(src_parts),
-            np.concatenate(dst_parts),
-            np.concatenate(size_parts),
-        )
         network.deliver(
-            batch, "dolev.gather", scheme="base", dst_scheme="dolev_triples"
+            dolev_gather_batch(partition, triples),
+            "dolev.gather", scheme="base", dst_scheme="dolev_triples",
         )
 
     def list_negative_triangles(

@@ -23,6 +23,16 @@ Object-based call sites keep working unchanged:
 iterable of :class:`Message` objects, and both paths charge identical
 rounds (see ``tests/test_congest_batch.py`` for the property-style
 equivalence test).
+
+Batches are *built* arithmetically too: the composable constructors
+(:meth:`MessageBatch.from_index_arrays`, :meth:`MessageBatch.concat`,
+:meth:`MessageBatch.from_cross_product`,
+:meth:`MessageBatch.from_range_product`,
+:meth:`MessageBatch.to_range_product`) express the gather/scatter patterns
+of the protocols as index arithmetic over block grids, so call sites never
+loop over messages to assemble a batch.  The loop builders they replaced
+survive in :mod:`repro.core._reference` and are property-tested equivalent
+(``tests/test_builder_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ from typing import Any, Hashable, Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.congest.gridops import expand_ranges, repeat_per_cell
 from repro.congest.message import Message
 from repro.errors import NetworkError
 
@@ -108,6 +119,142 @@ class MessageBatch:
             np.concatenate([batch.src for batch in batches]),
             np.concatenate([batch.dst for batch in batches]),
             np.concatenate([batch.size_words for batch in batches]),
+        )
+
+    #: Short spelling used by the arithmetic builders.
+    concat = concatenate
+
+    # -- composable arithmetic constructors -------------------------------
+
+    @classmethod
+    def from_index_arrays(
+        cls, src: np.ndarray, dst: np.ndarray, size_words: np.ndarray | int
+    ) -> "MessageBatch":
+        """Size-only batch from parallel position arrays.
+
+        The named form of the raw constructor: ``size_words`` may be a
+        scalar (every message the same size), and everything is coerced to
+        ``int64`` columns with the usual validation.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        if np.ndim(size_words) == 0:
+            size_words = np.full(src.shape, int(size_words), dtype=np.int64)
+        return cls(src, dst, size_words)
+
+    @classmethod
+    def from_cross_product(
+        cls,
+        src: np.ndarray,
+        dst: np.ndarray,
+        *,
+        words: np.ndarray | int = 1,
+        per: str = "dst",
+    ) -> "MessageBatch":
+        """Every source × every destination, in destination-major order.
+
+        ``words`` is a scalar, or a per-``dst`` / per-``src`` array selected
+        by ``per`` — e.g. every row owner sending its block-restricted row
+        slice to every triple node uses ``per="dst"`` with the slice widths.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.ndim != 1 or dst.ndim != 1:
+            raise NetworkError("cross-product factors must be one-dimensional")
+        if per not in ("src", "dst"):
+            raise NetworkError(f"per must be 'src' or 'dst', got {per!r}")
+        full_src = np.tile(src, dst.size)
+        full_dst = np.repeat(dst, src.size)
+        if np.ndim(words) == 0:
+            size = np.full(full_src.shape, int(words), dtype=np.int64)
+        elif per == "dst":
+            words = np.asarray(words, dtype=np.int64)
+            if words.shape != dst.shape:
+                raise NetworkError("per-dst words must align with dst")
+            size = np.repeat(words, src.size)
+        else:
+            words = np.asarray(words, dtype=np.int64)
+            if words.shape != src.shape:
+                raise NetworkError("per-src words must align with src")
+            size = np.tile(words, dst.size)
+        return cls(full_src, full_dst, size)
+
+    @classmethod
+    def from_range_product(
+        cls,
+        src_starts: np.ndarray,
+        src_counts: np.ndarray,
+        dst: np.ndarray,
+        words: np.ndarray | int,
+    ) -> "MessageBatch":
+        """Gather pattern over grid cells: cell ``i`` has every position in
+        ``arange(src_starts[i], src_starts[i] + src_counts[i])`` send
+        ``words[i]`` words to ``dst[i]``.
+
+        This is the workhorse of the array-major builders — a block index
+        grid (e.g. all ``(bu, bv, bw)`` triples) flattened to cell arrays
+        expands to the full message set in five vectorized operations.
+        """
+        src_counts = np.asarray(src_counts, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if dst.shape != src_counts.shape:
+            raise NetworkError("cell columns must align")
+        return cls(
+            expand_ranges(src_starts, src_counts),
+            repeat_per_cell(dst, src_counts),
+            repeat_per_cell(words, src_counts),
+        )
+
+    @classmethod
+    def to_range_product(
+        cls,
+        src: np.ndarray,
+        dst_starts: np.ndarray,
+        dst_counts: np.ndarray,
+        words: np.ndarray | int,
+    ) -> "MessageBatch":
+        """Scatter pattern over grid cells: cell ``i`` has ``src[i]`` send
+        ``words[i]`` words to every position in the destination range —
+        the mirror image of :meth:`from_range_product` (e.g. a triple node
+        shipping per-row partial results back to the row owners)."""
+        src = np.asarray(src, dtype=np.int64)
+        dst_counts = np.asarray(dst_counts, dtype=np.int64)
+        if src.shape != dst_counts.shape:
+            raise NetworkError("cell columns must align")
+        return cls(
+            repeat_per_cell(src, dst_counts),
+            expand_ranges(dst_starts, dst_counts),
+            repeat_per_cell(words, dst_counts),
+        )
+
+    # -- vectorized accounting --------------------------------------------
+
+    def loads(
+        self,
+        num_nodes: int,
+        src_physical: np.ndarray,
+        dst_physical: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-physical-node word-load histograms (Lemma 1's vectors),
+        resolved through the schemes' position → physical maps."""
+        from repro.congest.router import batch_loads
+
+        return batch_loads(
+            num_nodes,
+            src_physical[self.src],
+            dst_physical[self.dst],
+            self.size_words,
+        )
+
+    def canonical_order(self) -> "MessageBatch":
+        """The batch with messages in canonical ``(dst, src, size)`` order.
+
+        Delivery and Lemma 1 charges are order-invariant, so two builders
+        are equivalent iff their canonically ordered batches are identical —
+        the comparison the property tests use.
+        """
+        order = np.lexsort((self.size_words, self.src, self.dst))
+        return MessageBatch(
+            self.src[order], self.dst[order], self.size_words[order]
         )
 
     @classmethod

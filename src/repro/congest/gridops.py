@@ -1,0 +1,63 @@
+"""Segment arithmetic for array-major batch construction.
+
+The arithmetic batch builders describe traffic as *cells*: a cell is one
+(contiguous sender range, destination, word size) entry of a block index
+grid, and a whole protocol phase is a few parallel arrays of cells.  The
+helpers here expand cell arrays into per-message columns without a Python
+loop — ``expand_ranges`` is the concatenation of ``np.arange(start, stop)``
+over all cells, and ``segment_arange`` is the within-cell offset that makes
+it work.
+
+Everything is plain ``int64`` index arithmetic (``repeat``/``cumsum``), so
+an ``n = 2048`` Step-1 pattern (~10⁶ messages) expands in a handful of
+vectorized operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def segment_arange(counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(c)`` for every ``c`` in ``counts``.
+
+    ``segment_arange([2, 0, 3]) == [0, 1, 0, 1, 2]`` — the within-segment
+    index of each element when segments of the given lengths are laid out
+    back to back.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if counts.size and int(counts.min()) < 0:
+        raise ValueError("segment counts must be non-negative")
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.zeros(counts.size, dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    return np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+
+
+def expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(start, start + count)`` over all cells.
+
+    ``expand_ranges([5, 0], [2, 3]) == [5, 6, 0, 1, 2]`` — the vectorized
+    form of ``np.concatenate([np.arange(s, s + c) for s, c in ...])``.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    if starts.shape != counts.shape or starts.ndim != 1:
+        raise ValueError("starts and counts must be equal-length 1-D arrays")
+    return np.repeat(starts, counts) + segment_arange(counts)
+
+
+def repeat_per_cell(values: np.ndarray | int, counts: np.ndarray) -> np.ndarray:
+    """Per-message column from a per-cell column: repeat each cell's value
+    ``counts[i]`` times.  A scalar ``values`` broadcasts to every cell."""
+    counts = np.asarray(counts, dtype=np.int64)
+    if np.ndim(values) == 0:
+        return np.full(int(counts.sum()), int(values), dtype=np.int64)
+    values = np.asarray(values, dtype=np.int64)
+    if values.shape != counts.shape:
+        raise ValueError("per-cell values must align with counts")
+    return np.repeat(values, counts)

@@ -34,9 +34,9 @@ import numpy as np
 from repro.congest.accounting import RoundLedger
 from repro.congest.batch import MessageBatch
 from repro.congest.message import Message
-from repro.congest.router import batch_loads, route_rounds
+from repro.congest.router import route_rounds
 from repro.errors import NetworkError
-from repro.util.rng import RngLike, ensure_rng, spawn_rng
+from repro.util.rng import RngLike, ensure_rng
 
 
 class Node:
@@ -46,16 +46,33 @@ class Node:
     is the index of the physical clique node hosting it.  ``storage`` holds
     node-local state; ``inbox`` receives ``(src_label, payload)`` tuples from
     :meth:`CongestClique.deliver`.
+
+    ``rng`` may be passed as a ready generator or as an integer seed; a seed
+    is materialized into a generator lazily on first access.  Registering a
+    scheme draws one seed per label from the network generator either way
+    (so parent streams are identical), but skips the ``default_rng``
+    construction for the overwhelmingly common case of virtual nodes whose
+    local randomness is never used.
     """
 
-    __slots__ = ("label", "physical", "storage", "inbox", "rng")
+    __slots__ = ("label", "physical", "storage", "inbox", "_rng")
 
     def __init__(self, label: Hashable, physical: int, rng) -> None:
         self.label = label
         self.physical = physical
         self.storage: dict[str, Any] = {}
         self.inbox: list[tuple[Hashable, Any]] = []
-        self.rng = rng
+        self._rng = rng
+
+    @property
+    def rng(self) -> np.random.Generator:
+        if not isinstance(self._rng, np.random.Generator):
+            self._rng = np.random.default_rng(self._rng)
+        return self._rng
+
+    @rng.setter
+    def rng(self, value) -> None:
+        self._rng = value
 
     def drain_inbox(self) -> list[tuple[Hashable, Any]]:
         """Return and clear the inbox."""
@@ -84,8 +101,14 @@ class CongestClique:
         self._scheme_positions: dict[str, dict[Hashable, int]] = {}
         self._scheme_physical: dict[str, np.ndarray] = {}
         # The base scheme: one label per physical node, identity placement.
-        base_nodes = [Node(i, i, spawn_rng(self.rng)) for i in range(num_nodes)]
+        base_nodes = [Node(i, i, self._draw_node_seed()) for i in range(num_nodes)]
         self._install_scheme("base", base_nodes)
+
+    def _draw_node_seed(self) -> int:
+        """The seed :func:`~repro.util.rng.spawn_rng` would have drawn —
+        consumed eagerly so the network stream is byte-identical to the
+        eager-spawn era, while generator construction stays lazy."""
+        return int(self.rng.integers(0, 2**63 - 1))
 
     # -- labeling schemes ------------------------------------------------
 
@@ -115,7 +138,7 @@ class CongestClique:
         if len(set(labels)) != len(labels):
             raise NetworkError(f"scheme {name!r} has duplicate labels")
         nodes = [
-            Node(label, index % self.num_nodes, spawn_rng(self.rng))
+            Node(label, index % self.num_nodes, self._draw_node_seed())
             for index, label in enumerate(labels)
         ]
         return self._install_scheme(name, nodes)
@@ -199,12 +222,7 @@ class CongestClique:
             raise NetworkError(
                 f"destination position out of range in scheme {dst_scheme!r}"
             )
-        src_load, dst_load = batch_loads(
-            self.num_nodes,
-            src_physical[batch.src],
-            dst_physical[batch.dst],
-            batch.size_words,
-        )
+        src_load, dst_load = batch.loads(self.num_nodes, src_physical, dst_physical)
         rounds = route_rounds(self.num_nodes, src_load, dst_load)
         self.ledger.charge(phase, rounds)
         if batch.payloads is not None:

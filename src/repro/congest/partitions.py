@@ -43,6 +43,7 @@ class BlockPartition:
         self.num_vertices = num_vertices
         self.num_blocks = num_blocks
         boundaries = np.linspace(0, num_vertices, num_blocks + 1).round().astype(int)
+        self._boundaries = boundaries.astype(np.int64)
         self._blocks = [
             np.arange(boundaries[i], boundaries[i + 1]) for i in range(num_blocks)
         ]
@@ -65,6 +66,15 @@ class BlockPartition:
     def block_index_array(self) -> np.ndarray:
         """Array mapping each vertex to its block index."""
         return self._block_of.copy()
+
+    def block_starts(self) -> np.ndarray:
+        """First vertex of each block (blocks are contiguous ranges) —
+        the grid inputs of the arithmetic batch builders."""
+        return self._boundaries[:-1].copy()
+
+    def block_sizes(self) -> np.ndarray:
+        """Number of vertices in each block, as an array."""
+        return np.diff(self._boundaries)
 
     @property
     def max_block_size(self) -> int:

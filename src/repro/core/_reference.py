@@ -1,0 +1,118 @@
+"""Reference loop builders for the protocol traffic patterns.
+
+Every arithmetic batch builder in the library replaced a per-message Python
+loop.  The loops live on here, written in the most literal node-major form
+("for each triple node, for each sender, append one message"), as the
+executable specification the equivalence property tests compare against:
+``tests/test_builder_equivalence.py`` asserts that the arithmetic builders
+produce identical :class:`~repro.congest.batch.MessageBatch` contents (in
+canonical order) and identical ``router.batch_loads`` histograms on seeded
+random instances.
+
+Nothing here is called on a hot path — the point of these functions is to
+be obviously correct, not fast.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.congest.batch import MessageBatch
+from repro.congest.partitions import BlockPartition, CliquePartitions
+
+
+def _batch_from_lists(src: list[int], dst: list[int], size: list[int]) -> MessageBatch:
+    return MessageBatch(
+        np.array(src, dtype=np.int64),
+        np.array(dst, dtype=np.int64),
+        np.array(size, dtype=np.int64),
+    )
+
+
+def step1_batch_loops(partitions: CliquePartitions) -> MessageBatch:
+    """Step 1 of ComputePairs (Figure 1), one message at a time.
+
+    For every triple node ``(bu, bv, bw)`` (destination position in the
+    triple scheme's registration order): every ``u`` in coarse block ``bu``
+    sends its fine-block-``bw`` row slice, and every ``w`` in fine block
+    ``bw`` sends its coarse-block-``bv`` row slice.
+    """
+    coarse = partitions.coarse
+    fine = partitions.fine
+    num_fine = partitions.num_fine
+    src: list[int] = []
+    dst: list[int] = []
+    size: list[int] = []
+    for bu in range(partitions.num_coarse):
+        for bv in range(partitions.num_coarse):
+            for bw in range(num_fine):
+                position = (bu * partitions.num_coarse + bv) * num_fine + bw
+                size_fine = len(fine.block(bw))
+                size_coarse = len(coarse.block(bv))
+                for u in coarse.block(bu).tolist():
+                    src.append(u)
+                    dst.append(position)
+                    size.append(size_fine)
+                for w in fine.block(bw).tolist():
+                    src.append(w)
+                    dst.append(position)
+                    size.append(size_coarse)
+    return _batch_from_lists(src, dst, size)
+
+
+def dolev_gather_loops(
+    partition: BlockPartition, triples: Sequence[tuple[int, int, int]]
+) -> MessageBatch:
+    """The Dolev–Lenzen–Peled gather: every vertex of each *distinct* block
+    of a triple ships its row restricted to the union of the triple's blocks
+    (2 words per entry: witness weight plus pair weight)."""
+    src: list[int] = []
+    dst: list[int] = []
+    size: list[int] = []
+    for position, triple in enumerate(triples):
+        blocks = sorted(set(triple))
+        senders = [
+            int(v) for block in blocks for v in partition.block(block).tolist()
+        ]
+        for v in senders:
+            src.append(v)
+            dst.append(position)
+            size.append(2 * len(senders))
+    return _batch_from_lists(src, dst, size)
+
+
+def censor_hillel_batches_loops(
+    partition: BlockPartition, triples: Sequence[tuple[int, int, int]]
+) -> tuple[MessageBatch, MessageBatch]:
+    """The Censor-Hillel cube-partition traffic: per triple ``(x, y, z)``,
+    the gather of ``A[X, Z]`` rows (from ``X``'s vertices, ``|Z|`` words
+    each) and ``B[Z, Y]`` rows (from ``Z``'s vertices, ``|Y|`` words each),
+    and the aggregate shipping each ``|Y|``-wide partial row back to its
+    owner in ``X``.  Returns ``(gather, aggregate)``."""
+    g_src: list[int] = []
+    g_dst: list[int] = []
+    g_size: list[int] = []
+    a_src: list[int] = []
+    a_dst: list[int] = []
+    a_size: list[int] = []
+    for position, (x, y, z) in enumerate(triples):
+        size_y = len(partition.block(y))
+        size_z = len(partition.block(z))
+        for u in partition.block(x).tolist():
+            g_src.append(u)
+            g_dst.append(position)
+            g_size.append(size_z)
+        for w in partition.block(z).tolist():
+            g_src.append(w)
+            g_dst.append(position)
+            g_size.append(size_y)
+        for u in partition.block(x).tolist():
+            a_src.append(position)
+            a_dst.append(u)
+            a_size.append(size_y)
+    return (
+        _batch_from_lists(g_src, g_dst, g_size),
+        _batch_from_lists(a_src, a_dst, a_size),
+    )

@@ -154,6 +154,38 @@ def _compute_pairs_once(
     )
 
 
+def step1_batch(partitions: CliquePartitions) -> MessageBatch:
+    """The Step-1 gather traffic as one arithmetic batch.
+
+    Pure index arithmetic over the flattened ``(bu, bv, bw)`` grid: triple
+    node ``t`` decomposes as ``bu = t // (C·F)``, ``bv = (t // F) % C``,
+    ``bw = t % F``, and both message families are range-product cells —
+    the u-side sends coarse block ``bu`` (one ``|bw|``-word row slice per
+    vertex), the w-side sends fine block ``bw`` (one ``|bv|``-word slice
+    per vertex).  No Python loop at any ``n``; the loop form survives as
+    :func:`repro.core._reference.step1_batch_loops`.
+    """
+    num_coarse = partitions.num_coarse
+    num_fine = partitions.num_fine
+    coarse_starts = partitions.coarse.block_starts()
+    coarse_sizes = partitions.coarse.block_sizes()
+    fine_starts = partitions.fine.block_starts()
+    fine_sizes = partitions.fine.block_sizes()
+
+    triples = np.arange(num_coarse * num_coarse * num_fine, dtype=np.int64)
+    bu = triples // (num_coarse * num_fine)
+    bv = (triples // num_fine) % num_coarse
+    bw = triples % num_fine
+
+    u_side = MessageBatch.from_range_product(
+        coarse_starts[bu], coarse_sizes[bu], triples, fine_sizes[bw]
+    )
+    w_side = MessageBatch.from_range_product(
+        fine_starts[bw], fine_sizes[bw], triples, coarse_sizes[bv]
+    )
+    return MessageBatch.concat([u_side, w_side])
+
+
 def _step1_load(
     network: CongestClique,
     partitions: CliquePartitions,
@@ -178,39 +210,9 @@ def _step1_load(
     coarse = partitions.coarse
     fine = partitions.fine
     if witness is None:
-        num_coarse = partitions.num_coarse
-        num_fine = partitions.num_fine
-        fine_sizes = np.array([len(block) for block in fine.blocks()], dtype=np.int64)
-        fine_positions = np.arange(num_fine, dtype=np.int64)
-        # Concatenating the (contiguous, ordered) fine blocks covers V in
-        # order, so the w-side sources of one (bu, bv, ·) slab are 0..n−1.
-        all_vertices = np.arange(partitions.num_vertices, dtype=np.int64)
-        src_parts: list[np.ndarray] = []
-        dst_parts: list[np.ndarray] = []
-        size_parts: list[np.ndarray] = []
-        for bu in range(num_coarse):
-            rows_u = coarse.block(bu)
-            for bv in range(num_coarse):
-                base = (bu * num_coarse + bv) * num_fine
-                size_coarse = len(coarse.block(bv))
-                # u-side: every u ∈ bu sends its fine-block slice to each
-                # triple node (bu, bv, bw).
-                src_parts.append(np.tile(rows_u, num_fine))
-                dst_parts.append(np.repeat(base + fine_positions, len(rows_u)))
-                size_parts.append(np.repeat(fine_sizes, len(rows_u)))
-                # w-side: every w ∈ bw sends its coarse-block slice there.
-                src_parts.append(all_vertices)
-                dst_parts.append(np.repeat(base + fine_positions, fine_sizes))
-                size_parts.append(
-                    np.full(partitions.num_vertices, size_coarse, dtype=np.int64)
-                )
-        batch = MessageBatch(
-            np.concatenate(src_parts),
-            np.concatenate(dst_parts),
-            np.concatenate(size_parts),
-        )
         network.deliver(
-            batch, "compute_pairs.step1_load", scheme="base", dst_scheme="triple"
+            step1_batch(partitions),
+            "compute_pairs.step1_load", scheme="base", dst_scheme="triple",
         )
         return
     messages: list[Message] = []
@@ -257,13 +259,23 @@ def _step2_sample(
     pair_weights = instance.effective_pair_graph().weights
     coarse = partitions.coarse
 
+    # Scope membership and eligibility as boolean matrices (canonical pair
+    # positions), so sampled pairs filter with one fancy index instead of a
+    # per-row set lookup.
+    scope_mask = np.zeros((n, n), dtype=bool)
+    if scope:
+        scope_rows = np.fromiter((a for a, _ in scope), dtype=np.int64, count=len(scope))
+        scope_cols = np.fromiter((b for _, b in scope), dtype=np.int64, count=len(scope))
+        scope_mask[scope_rows, scope_cols] = True
+    eligible_mask = scope_mask & np.isfinite(pair_weights)
+    covered_mask = np.zeros((n, n), dtype=bool)
+
     # Request/reply traffic in columnar form: search-node position, pair
     # owner, and pair count per (node, owner) edge of the loading pattern.
     search_positions: list[np.ndarray] = []
     owner_vertices: list[np.ndarray] = []
     owner_counts: list[np.ndarray] = []
     node_pairs: dict[tuple[int, int, int], tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
-    covered: set[tuple[int, int]] = set()
     num_fine = partitions.num_fine
 
     for bu in range(partitions.num_coarse):
@@ -274,10 +286,13 @@ def _step2_sample(
             block_u = coarse.block(bu)
             start_u = int(block_u[0])
             start_v = int(coarse.block(bv)[0])
+            # One draw for all x of this block pair: filling an (F, |P|)
+            # array row by row consumes the generator stream exactly as the
+            # per-x draws did.
+            masks = rng.random((num_fine, len(all_pairs))) < rate
             for x in range(partitions.num_fine):
                 label = (bu, bv, x)
-                mask = rng.random(len(all_pairs)) < rate
-                lam = all_pairs[mask]
+                lam = all_pairs[masks[x]]
                 if len(lam) == 0:
                     node_pairs[label] = _empty_node_entry(partitions.num_fine)
                     continue
@@ -288,12 +303,14 @@ def _step2_sample(
                     (touching_u >= block_u[0]) & (touching_u <= block_u[-1])
                 ]
                 if touching_u.size:
-                    _, counts = np.unique(touching_u, return_counts=True)
-                    if counts.max() > balance:
+                    max_count = int(
+                        np.bincount(touching_u - int(block_u[0])).max()
+                    )
+                    if max_count > balance:
                         raise ProtocolAbortedError(
                             "compute_pairs.step2",
                             f"Λ_{x}({bu},{bv}) unbalanced: "
-                            f"{int(counts.max())} > {balance:.1f}",
+                            f"{max_count} > {balance:.1f}",
                         )
                 # Load pair weights & scope bits from the pair owners: the
                 # request names each pair (1 word), the reply carries weight
@@ -305,13 +322,8 @@ def _step2_sample(
                 )
                 owner_vertices.append(owners)
                 owner_counts.append(counts)
-                keep_rows = [
-                    index
-                    for index, (a, b) in enumerate(map(tuple, lam.tolist()))
-                    if (a, b) in scope and np.isfinite(pair_weights[a, b])
-                ]
-                kept = lam[keep_rows]
-                covered.update(map(tuple, kept.tolist()))
+                kept = lam[eligible_mask[lam[:, 0], lam[:, 1]]]
+                covered_mask[kept[:, 0], kept[:, 1]] = True
                 weights = pair_weights[kept[:, 0], kept[:, 1]]
                 witness_table = _witness_table(
                     kept, two_hop_for(bu, bv), weights, bu, bv, start_u, start_v, coarse
@@ -333,12 +345,12 @@ def _step2_sample(
         "compute_pairs.step2_reply", scheme="base", dst_scheme="search",
     )
 
-    eligible = {
-        pair
-        for pair in scope
-        if np.isfinite(pair_weights[pair[0], pair[1]])
-    }
-    coverage = 1.0 if not eligible else len(covered & eligible) / len(eligible)
+    num_eligible = int(np.count_nonzero(eligible_mask))
+    coverage = (
+        1.0
+        if num_eligible == 0
+        else int(np.count_nonzero(covered_mask & eligible_mask)) / num_eligible
+    )
     return node_pairs, coverage
 
 

@@ -10,11 +10,14 @@ duplication for ``α > 0``); the network-wide round charge of a phase is
 therefore the shared iteration schedule's cost, with the evaluation round
 cost measured from the procedure's actual message pattern.
 
-The per-node searches are simulated by :class:`repro.quantum.multisearch.
-MultiSearch`, which also enforces the typicality machinery of Theorem 3
-(``β = 800 · 2^α · √n · log n``): solution sets that overload one block
-(Lemma 3 failing) are truncated exactly as ``C̃_m`` would, and Lemma 5's
-fidelity penalty is injected per repetition.
+The per-node searches are simulated by one
+:class:`repro.quantum.batched.BatchedMultiSearch` per class — every search
+node is a lane of the same lockstep schedule, with the typicality machinery
+of Theorem 3 (``β = 800 · 2^α · √n · log n``) enforced per lane exactly as
+the per-label :class:`repro.quantum.multisearch.MultiSearch` runs did:
+solution sets that overload one block (Lemma 3 failing) are truncated
+exactly as ``C̃_m`` would, and Lemma 5's fidelity penalty is injected per
+repetition.
 """
 
 from __future__ import annotations
@@ -34,7 +37,7 @@ from repro.core.evaluation import (
 )
 from repro.core.identify_class import ClassAssignment
 from repro.quantum.amplitude import max_iterations
-from repro.quantum.multisearch import MultiSearch
+from repro.quantum.batched import BatchedMultiSearch
 from repro.util.mathutil import guarded_log
 from repro.util.rng import ensure_rng, spawn_rng
 
@@ -206,23 +209,26 @@ def _run_class(
     )
     schedule = generator.integers(0, cap + 1, size=repetitions).tolist()
 
-    phase_rounds = 0.0
+    # One batched run for the whole class: every search node is a lane of
+    # the same lockstep schedule (per-lane generators spawned in the same
+    # order the per-label runs used, so measurements are identical).
+    batched = BatchedMultiSearch(
+        beta=beta, eval_rounds=eval_r, amplification=amplification
+    )
+    lane_pairs: dict[tuple[int, int, int], np.ndarray] = {}
     for label, blocks in domains.items():
         pairs, _weights, witness_table = node_pairs[label]
         if len(pairs) == 0:
             continue
         columns = np.array(blocks, dtype=np.int64)
         sub_table = witness_table[:, columns]  # (num_pairs, |X|)
-        search = MultiSearch(
-            len(blocks),
-            marked_table=sub_table,
-            beta=beta,
-            eval_rounds=eval_r,
-            amplification=amplification,
-            rng=spawn_rng(generator),
-        )
-        result = search.run(schedule=schedule)
-        report.total_searches += len(sub_table)
+        batched.add(label, len(blocks), sub_table, rng=spawn_rng(generator))
+        lane_pairs[label] = pairs
+
+    phase_rounds = 0.0
+    for label, result in batched.run(schedule).items():
+        pairs = lane_pairs[label]
+        report.total_searches += int(result.found.size)
         report.typicality_truncations += result.typicality.truncated_entries
         report.corrupted_repetitions += result.corrupted_repetitions
         phase_rounds = max(phase_rounds, result.rounds)

@@ -18,6 +18,7 @@ Built from scratch (no qiskit/cirq available in this environment):
 """
 
 from repro.quantum.amplitude import GroverAmplitudeTracker, optimal_iterations
+from repro.quantum.batched import BatchedMultiSearch
 from repro.quantum.distributed import DistributedQuantumSearch, SearchOutcome
 from repro.quantum.grover import GroverCircuit
 from repro.quantum.multisearch import (
@@ -38,6 +39,7 @@ __all__ = [
     "DistributedQuantumSearch",
     "SearchOutcome",
     "MultiSearch",
+    "BatchedMultiSearch",
     "MultiSearchReport",
     "TypicalityReport",
     "lemma5_truncated_mass_bound",

@@ -1,0 +1,257 @@
+"""Class-level batching of the Step-3 multi-searches.
+
+:class:`~repro.quantum.multisearch.MultiSearch` simulates the ``m`` lockstep
+Grover searches of *one* search node.  In Step 3 of ComputePairs every
+search node of a class runs its searches against the *same* global iteration
+schedule (each Grover step is one application of the network-wide evaluation
+procedure), so the natural execution unit is the whole class:
+:class:`BatchedMultiSearch` advances every node's BBHT counters
+simultaneously, one repetition of the shared schedule at a time.
+
+The batching is an execution reorganization, not a semantic change — it is
+*exactly equivalent*, per node, to constructing a :class:`MultiSearch` and
+calling :meth:`~repro.quantum.multisearch.MultiSearch.run` with the shared
+schedule (property-tested in ``tests/test_quantum_batched.py``):
+
+* each lane keeps its own generator and consumes it in the same order and
+  with the same call shapes as the sequential run, so every measurement,
+  corruption flag, and early stop lands identically;
+* the per-repetition work that does *not* touch a generator is hoisted out
+  of the loop and vectorized — success probabilities for all (search,
+  repetition) pairs in one trigonometric pass over the CSR solution counts,
+  Lemma 5 fidelity deltas and cumulative round/oracle charges per lane up
+  front — which is where the speedup comes from: the sequential version
+  recomputed all of it per node per repetition.
+
+What remains in the lockstep loop is the irreducible randomness: one
+corruption draw, one batch of measurement draws over the lane's pending
+searches, and the occasional measurement-slot draw.  Lanes drop out of the
+active set as they finish (every search found, or the repetition budget
+exhausted), mirroring the per-node early stop.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import QuantumSimulationError
+from repro.quantum.amplitude import max_iterations
+from repro.quantum.multisearch import (
+    MultiSearch,
+    MultiSearchReport,
+    uniform_atypical_mass,
+)
+from repro.util.rng import RngLike
+
+
+class _Lane:
+    """One search node's state inside the lockstep loop."""
+
+    __slots__ = (
+        "key", "search", "pending", "found", "theta", "counts", "padded",
+        "iters", "delta", "rounds_cum", "oracle_cum", "live", "can_freeze",
+        "last_rep", "corrupted", "fidelity_max",
+    )
+
+    def __init__(self, key: Hashable, search: MultiSearch) -> None:
+        self.key = key
+        self.search = search
+        self.pending = np.arange(search.num_searches, dtype=np.int64)
+        self.found = np.full(search.num_searches, -1, dtype=np.int64)
+        self.counts = search._eff_counts
+        self.padded = search._eff_counts + 1
+        self.live = int(np.count_nonzero(self.counts))
+        self.last_rep = -1
+        self.corrupted = 0
+        self.fidelity_max = 0.0
+
+    def prepare(self, schedule: Sequence[int]) -> None:
+        """Precompute everything the shared schedule determines.
+
+        The sequential run recomputes these values inside its repetition
+        loop; they only depend on the lane's (static) solution counts and
+        the schedule, so one pass up front suffices: the iteration counts
+        clamped to this lane's BBHT cap, the cumulative round/oracle
+        charges, Lemma 5's per-repetition deviation bounds, and the
+        per-search Grover angles ``θ`` (the repetition loop then only pays
+        one ``sin`` over the pending subset).
+        """
+        search = self.search
+        padded_items = search.num_items + 1
+        cap = max_iterations(padded_items)
+        self.iters = [min(int(entry), cap) for entry in schedule]
+
+        # Same per-term products as the sequential loop; cumsum accumulates
+        # left to right exactly like `total_rounds +=` did.
+        terms = (np.asarray(self.iters, dtype=np.int64) + 1)
+        self.rounds_cum = np.cumsum(terms * search.eval_rounds)
+        self.oracle_cum = np.cumsum(terms)
+
+        if search.beta is not None:
+            mass = uniform_atypical_mass(
+                padded_items, search.num_searches, search.beta
+            )
+            root = math.sqrt(mass)
+            self.delta = [
+                min(1.0, 2.0 * iterations * root) for iterations in self.iters
+            ]
+            # With every deviation bound at zero, repetitions can never be
+            # corrupted — together with an empty live set this makes the
+            # lane's remaining evolution fully deterministic.
+            self.can_freeze = not any(self.delta)
+        else:
+            self.delta = []
+            self.can_freeze = True
+
+        # θ per (padded) search: probs for repetition k over any pending
+        # subset p are sin²((2k+1)·θ[p]) — elementwise identical to
+        # amplitude.batch_success_probability on that subset.
+        self.theta = np.arcsin(
+            np.sqrt((self.counts + 1).astype(np.float64) / padded_items)
+        )
+
+    def report(self) -> MultiSearchReport:
+        search = self.search
+        executed = self.last_rep + 1
+        return MultiSearchReport(
+            found=self.found,
+            rounds=float(self.rounds_cum[self.last_rep]) if executed else 0.0,
+            repetitions=executed,
+            oracle_calls=int(self.oracle_cum[self.last_rep]) if executed else 0,
+            typicality=search.typicality,
+            corrupted_repetitions=self.corrupted,
+            fidelity_bound_max=self.fidelity_max,
+        )
+
+
+class BatchedMultiSearch:
+    """All search nodes of one class, advanced in vectorized lockstep.
+
+    Parameters mirror :class:`MultiSearch` (``beta``, ``eval_rounds``,
+    ``amplification`` are shared by the whole class); lanes are added with
+    :meth:`add` in the same order the sequential implementation would have
+    constructed them, each with its own generator.
+    """
+
+    def __init__(
+        self,
+        *,
+        beta: Optional[float] = None,
+        eval_rounds: float = 1.0,
+        amplification: float = 12.0,
+    ) -> None:
+        self.beta = beta
+        self.eval_rounds = float(eval_rounds)
+        self.amplification = float(amplification)
+        self._lanes: list[_Lane] = []
+        self._keys: set[Hashable] = set()
+
+    def __len__(self) -> int:
+        return len(self._lanes)
+
+    def add(
+        self,
+        key: Hashable,
+        num_items: int,
+        marked_table: np.ndarray,
+        *,
+        rng: RngLike = None,
+    ) -> None:
+        """Register one search node (its domain size, truth table of marked
+        blocks per search, and private generator) under ``key``.
+
+        Construction delegates to :class:`MultiSearch`, so the CSR layout
+        and the Theorem 3 typicality truncation are the sequential ones by
+        definition.
+        """
+        if key in self._keys:
+            raise QuantumSimulationError(f"duplicate search-node key {key!r}")
+        self._keys.add(key)
+        search = MultiSearch(
+            num_items,
+            marked_table=marked_table,
+            beta=self.beta,
+            eval_rounds=self.eval_rounds,
+            amplification=self.amplification,
+            rng=rng,
+        )
+        self._lanes.append(_Lane(key, search))
+
+    def run(
+        self,
+        schedule: Sequence[int],
+        *,
+        early_stop: bool = True,
+    ) -> dict[Hashable, MultiSearchReport]:
+        """Advance every lane through the shared iteration schedule.
+
+        Returns ``{key: report}`` with per-lane reports identical to
+        ``MultiSearch.run(schedule=schedule)`` on the same inputs and
+        generators.
+        """
+        repetitions = len(schedule)
+        active: list[_Lane] = []
+        for lane in self._lanes:
+            lane.prepare(schedule)
+            if repetitions and lane.can_freeze and lane.live == 0:
+                # No search can ever be found and no repetition can ever be
+                # corrupted: the lane's whole evolution is deterministic, so
+                # it charges the full schedule without touching its
+                # generator (which nothing else observes).
+                lane.last_rep = repetitions - 1
+            else:
+                active.append(lane)
+
+        typical = self.beta is not None
+        for rep in range(repetitions):
+            if not active:
+                break
+            still: list[_Lane] = []
+            for lane in active:
+                lane.last_rep = rep  # this repetition's charge is incurred
+                rng = lane.search.rng
+                if typical:
+                    delta = lane.delta[rep]
+                    if delta > lane.fidelity_max:
+                        lane.fidelity_max = delta
+                    if rng.random() < delta:
+                        # Corrupted repetition: verification discards it.
+                        lane.corrupted += 1
+                        still.append(lane)
+                        continue
+                pending = lane.pending
+                if not pending.size:
+                    # All found before a corrupted tail repetition — the
+                    # sequential loop charges this repetition, then stops.
+                    continue
+                draws = rng.random(pending.size)
+                iterations = lane.iters[rep]
+                probs = np.sin((2 * iterations + 1) * lane.theta[pending]) ** 2
+                hits = pending[draws < probs]
+                if hits.size:
+                    slots = rng.integers(0, lane.padded[hits])
+                    real = slots < lane.counts[hits]
+                    real_hits = hits[real]
+                    if real_hits.size:
+                        search = lane.search
+                        lane.found[real_hits] = search._eff_flat[
+                            search._eff_offsets[real_hits] + slots[real]
+                        ]
+                        pending = pending[lane.found[pending] < 0]
+                        lane.pending = pending
+                        lane.live -= int(real_hits.size)
+                if early_stop and not pending.size:
+                    continue  # lane finished at the end of this repetition
+                if lane.can_freeze and lane.live == 0 and pending.size:
+                    # Only zero-solution searches remain and corruption is
+                    # impossible: fast-forward to the end of the schedule.
+                    # (An *empty* pending set instead stops at the top of
+                    # the next repetition, charging exactly one more.)
+                    lane.last_rep = repetitions - 1
+                    continue
+                still.append(lane)
+            active = still
+        return {lane.key: lane.report() for lane in self._lanes}

@@ -1,0 +1,172 @@
+"""BatchedMultiSearch ≡ per-node MultiSearch, exactly.
+
+The class-level batching of Step 3 is an execution reorganization: for the
+same inputs, the same shared schedule, and the same per-lane generators, the
+batched run must reproduce every field of every per-node
+:class:`~repro.quantum.multisearch.MultiSearchReport` bit for bit — found
+elements, round charges, repetition/oracle counts, corruption flags, and
+the typicality truncation.  These property tests drive both implementations
+from identically seeded generators across the interesting regimes:
+
+* plain searches (``beta=None``) and typical inputs (large ``beta``);
+* zero-solution searches (the lanes that can never early-stop — the case
+  the freeze fast-path accelerates);
+* atypical solution sets (``beta`` small enough to truncate);
+* corrupted repetitions (``beta < m`` so Lemma 5's bound is non-zero);
+* ``early_stop=False``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantumSimulationError
+from repro.quantum.amplitude import max_iterations
+from repro.quantum.batched import BatchedMultiSearch
+from repro.quantum.multisearch import MultiSearch
+
+
+def random_lanes(rng, *, num_lanes, max_items, max_searches, solution_rate):
+    """Random per-lane (num_items, marked_table) inputs."""
+    lanes = []
+    for index in range(num_lanes):
+        num_items = int(rng.integers(1, max_items + 1))
+        num_searches = int(rng.integers(1, max_searches + 1))
+        table = rng.random((num_searches, num_items)) < solution_rate
+        lanes.append((f"lane{index}", num_items, table))
+    return lanes
+
+
+def run_sequential(lanes, schedule, *, beta, eval_rounds, amplification, seed,
+                   early_stop=True):
+    spawner = np.random.default_rng(seed)
+    reports = {}
+    for key, num_items, table in lanes:
+        child = np.random.default_rng(int(spawner.integers(0, 2**63 - 1)))
+        search = MultiSearch(
+            num_items,
+            marked_table=table,
+            beta=beta,
+            eval_rounds=eval_rounds,
+            amplification=amplification,
+            rng=child,
+        )
+        reports[key] = search.run(schedule=schedule, early_stop=early_stop)
+    return reports
+
+
+def run_batched(lanes, schedule, *, beta, eval_rounds, amplification, seed,
+                early_stop=True):
+    spawner = np.random.default_rng(seed)
+    batched = BatchedMultiSearch(
+        beta=beta, eval_rounds=eval_rounds, amplification=amplification
+    )
+    for key, num_items, table in lanes:
+        child = np.random.default_rng(int(spawner.integers(0, 2**63 - 1)))
+        batched.add(key, num_items, table, rng=child)
+    return batched.run(schedule, early_stop=early_stop)
+
+
+def assert_reports_identical(sequential, batched):
+    assert sequential.keys() == batched.keys()
+    for key in sequential:
+        a, b = sequential[key], batched[key]
+        assert np.array_equal(a.found, b.found), key
+        assert a.rounds == b.rounds, key
+        assert a.repetitions == b.repetitions, key
+        assert a.oracle_calls == b.oracle_calls, key
+        assert a.corrupted_repetitions == b.corrupted_repetitions, key
+        assert a.fidelity_bound_max == b.fidelity_bound_max, key
+        assert a.typicality == b.typicality, key
+
+
+BETA_REGIMES = [
+    None,          # idealized C_m: no typicality machinery at all
+    1000.0,        # typical: no truncation, zero corruption probability
+    3.0,           # truncating: solution loads can exceed β/2
+]
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("beta", BETA_REGIMES)
+def test_batched_equals_sequential(seed, beta):
+    rng = np.random.default_rng(seed)
+    lanes = random_lanes(
+        rng, num_lanes=7, max_items=9, max_searches=12, solution_rate=0.25
+    )
+    cap = max_iterations(max(num_items for _, num_items, _ in lanes) + 1)
+    schedule = rng.integers(0, cap + 1, size=25).tolist()
+    kwargs = dict(beta=beta, eval_rounds=1.5, amplification=12.0, seed=seed)
+    assert_reports_identical(
+        run_sequential(lanes, schedule, **kwargs),
+        run_batched(lanes, schedule, **kwargs),
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_batched_equals_sequential_with_corruption(seed):
+    # beta < m makes the uniform atypical mass positive, so repetitions can
+    # be corrupted — the regime where lanes can never freeze.
+    rng = np.random.default_rng(100 + seed)
+    lanes = []
+    for index in range(4):
+        num_items = int(rng.integers(2, 5))
+        num_searches = int(rng.integers(20, 40))
+        table = rng.random((num_searches, num_items)) < 0.15
+        lanes.append((f"lane{index}", num_items, table))
+    schedule = rng.integers(0, 4, size=30).tolist()
+    kwargs = dict(beta=8.0, eval_rounds=2.0, amplification=12.0, seed=seed)
+    assert_reports_identical(
+        run_sequential(lanes, schedule, **kwargs),
+        run_batched(lanes, schedule, **kwargs),
+    )
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_batched_equals_sequential_no_early_stop(seed):
+    rng = np.random.default_rng(200 + seed)
+    lanes = random_lanes(
+        rng, num_lanes=5, max_items=6, max_searches=8, solution_rate=0.6
+    )
+    schedule = rng.integers(0, 7, size=20).tolist()
+    kwargs = dict(
+        beta=500.0, eval_rounds=1.0, amplification=12.0, seed=seed,
+        early_stop=False,
+    )
+    assert_reports_identical(
+        run_sequential(lanes, schedule, **kwargs),
+        run_batched(lanes, schedule, **kwargs),
+    )
+
+
+def test_zero_solution_lanes_charge_full_schedule():
+    # A lane with no solutions anywhere never finds and never stops early:
+    # the freeze fast-path must still charge the whole schedule.
+    table = np.zeros((5, 4), dtype=bool)
+    batched = BatchedMultiSearch(beta=1000.0, eval_rounds=2.0)
+    batched.add("empty", 4, table, rng=0)
+    schedule = [1, 2, 0, 3]
+    report = batched.run(schedule)["empty"]
+    sequential = MultiSearch(
+        4, marked_table=table, beta=1000.0, eval_rounds=2.0, rng=0
+    ).run(schedule=schedule)
+    assert report.rounds == sequential.rounds
+    assert report.repetitions == len(schedule)
+    assert not report.found_mask().any()
+
+
+def test_empty_schedule_charges_nothing():
+    batched = BatchedMultiSearch(beta=100.0)
+    batched.add("a", 3, np.ones((2, 3), dtype=bool), rng=1)
+    report = batched.run([])["a"]
+    assert report.rounds == 0.0
+    assert report.repetitions == 0
+    assert report.oracle_calls == 0
+
+
+def test_duplicate_keys_rejected():
+    batched = BatchedMultiSearch()
+    batched.add("a", 3, np.ones((1, 3), dtype=bool), rng=0)
+    with pytest.raises(QuantumSimulationError):
+        batched.add("a", 3, np.ones((1, 3), dtype=bool), rng=0)

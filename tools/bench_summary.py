@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Roll the machine-readable benchmark metrics into one summary file.
+
+Benchmark runs emit ``benchmarks/results/<experiment>.json`` records with
+the schema ``{experiment, n, wall_seconds, rounds, commit}`` (see
+``write_metrics`` in ``benchmarks/conftest.py``).  This script collects
+every such file into ``BENCH_SUMMARY.json`` at the repository root, keyed
+by experiment, so the performance trajectory is diffable across PRs with
+plain ``git diff``.
+
+Usage::
+
+    python tools/bench_summary.py [--output BENCH_SUMMARY.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+
+
+def collect(results_dir: pathlib.Path) -> dict:
+    experiments: dict[str, list] = {}
+    for path in sorted(results_dir.glob("*.json")):
+        try:
+            records = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            print(f"warning: skipping malformed {path.name}: {error}", file=sys.stderr)
+            continue
+        if not isinstance(records, list):
+            print(f"warning: skipping non-list {path.name}", file=sys.stderr)
+            continue
+        experiments[path.stem] = records
+    commits = sorted(
+        {
+            str(record.get("commit"))
+            for records in experiments.values()
+            for record in records
+            if record.get("commit")
+        }
+    )
+    return {
+        "experiments": experiments,
+        "commits": commits,
+        "num_experiments": len(experiments),
+        "num_records": sum(len(records) for records in experiments.values()),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--results-dir", type=pathlib.Path, default=RESULTS_DIR,
+        help="directory holding the per-experiment *.json metric files",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=REPO_ROOT / "BENCH_SUMMARY.json",
+        help="where to write the rolled-up summary",
+    )
+    args = parser.parse_args(argv)
+    if not args.results_dir.is_dir():
+        print(f"error: no results directory at {args.results_dir}", file=sys.stderr)
+        return 1
+    summary = collect(args.results_dir)
+    args.output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(
+        f"wrote {args.output} — {summary['num_experiments']} experiments, "
+        f"{summary['num_records']} records"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
