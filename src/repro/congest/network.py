@@ -9,7 +9,8 @@ through three operations:
   four schemes for the same network (vertex labels ``V``, triple labels
   ``T = V × V × V′``, the third scheme ``V × V × [√n]``, and the
   bandwidth-duplication scheme ``Tα × [2^α / (720 log n)]``); registering a
-  scheme is free — it is a relabeling, not communication.
+  scheme is free — it is a relabeling, not communication — and costs O(1)
+  Python objects (schemes are lazy array-backed :class:`SchemeView` maps).
 * :meth:`CongestClique.deliver` — route a batch of messages; rounds are
   charged by Lemma 1 on the *physical* source/destination loads (virtual
   labels hosted by the same physical node share its bandwidth).
@@ -27,6 +28,7 @@ charge identical Lemma 1 rounds.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from typing import Any, Hashable, Iterable, Sequence, Union
 
 import numpy as np
@@ -84,6 +86,155 @@ class Node:
         return f"Node(label={self.label!r}, physical={self.physical})"
 
 
+class SchemeView(Mapping):
+    """Array-backed lazy ``label → Node`` view of a labeling scheme.
+
+    Registering a scheme stores only the label sequence (for the triple /
+    search / duplication schemes an arithmetic constructor from
+    :mod:`repro.congest.partitions` that stores no per-label objects), one
+    ``int64`` seed array, and the clique size — O(1) Python objects no
+    matter how many virtual labels the scheme has.  Everything else is
+    implicit:
+
+    * a label's *position* is its index in registration order
+      (``position_of`` inverts arithmetic constructors in O(1) and falls
+      back to a lazily built dict for plain sequences);
+    * its *physical host* is ``position % num_nodes`` (round-robin, the
+      virtual-node simulation argument), exposed in bulk as
+      :meth:`physical_array` for the columnar router;
+    * its :class:`Node` is materialized — with the seed the eager
+      registration would have given it, so local RNG streams are identical
+      — only when an algorithm touches ``scheme(name)[label]``, and cached
+      so node-local state (storage, inbox) persists across lookups.
+
+    The view satisfies the full read-only ``Mapping`` protocol, so call
+    sites written against the historical dict-returning API keep working
+    unchanged (``items()``/``values()`` simply materialize what they touch).
+    """
+
+    __slots__ = ("name", "num_nodes", "_labels", "_seeds", "_nodes",
+                 "_positions", "_physical")
+
+    def __init__(
+        self, name: str, labels: Sequence[Hashable], seeds: np.ndarray,
+        num_nodes: int,
+    ) -> None:
+        self.name = name
+        self.num_nodes = num_nodes
+        self._labels = labels
+        self._seeds = seeds
+        self._nodes: dict[int, Node] = {}
+        self._positions: dict[Hashable, int] | None = None
+        self._physical: np.ndarray | None = None
+
+    # -- Mapping protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self):
+        return iter(self._labels)
+
+    def __getitem__(self, label: Hashable) -> Node:
+        return self.node_at(self.position_of(label))
+
+    def __contains__(self, label: object) -> bool:
+        try:
+            self.position_of(label)
+        except KeyError:
+            return False
+        return True
+
+    # -- positions and physical hosts --------------------------------------
+
+    def position_of(self, label: Hashable) -> int:
+        """Position of ``label`` in registration order (KeyError if absent).
+
+        Arithmetic label constructors answer in O(1); plain sequences go
+        through the lazily built position dict.
+        """
+        arithmetic = getattr(self._labels, "position_of", None)
+        if arithmetic is not None:
+            return arithmetic(label)
+        return self.positions()[label]
+
+    def positions(self) -> dict[Hashable, int]:
+        """The full ``label → position`` dict, built once on demand."""
+        if self._positions is None:
+            self._positions = {
+                label: position for position, label in enumerate(self._labels)
+            }
+        return self._positions
+
+    def physical_of(self, label: Hashable) -> int:
+        """Physical host of one label (no Node materialization)."""
+        return self.position_of(label) % self.num_nodes
+
+    def physical_array(self) -> np.ndarray:
+        """Physical host per position — ``arange(len) % num_nodes``."""
+        if self._physical is None:
+            self._physical = (
+                np.arange(len(self._labels), dtype=np.int64) % self.num_nodes
+            )
+        return self._physical
+
+    def physical_lookup(self) -> "SchemePhysical":
+        """A ``label → physical host`` Mapping that never creates Nodes."""
+        return SchemePhysical(self)
+
+    # -- lazy nodes --------------------------------------------------------
+
+    def label_at(self, position: int) -> Hashable:
+        return self._labels[position]
+
+    def node_at(self, position: int) -> Node:
+        """The (cached) Node at ``position``, materialized on first touch."""
+        node = self._nodes.get(position)
+        if node is None:
+            node = Node(
+                self._labels[position],
+                position % self.num_nodes,
+                int(self._seeds[position]),
+            )
+            self._nodes[position] = node
+        return node
+
+    @property
+    def materialized_nodes(self) -> int:
+        """How many Nodes have been created so far (tests and benchmarks
+        assert registration stays at zero)."""
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"SchemeView(name={self.name!r}, labels={len(self._labels)}, "
+            f"materialized={len(self._nodes)})"
+        )
+
+
+class SchemePhysical(Mapping):
+    """Read-only ``label → physical host`` Mapping over a :class:`SchemeView`
+    — what the evaluation-procedure accounting consumes, without forcing a
+    Node (or even a dict entry) per label."""
+
+    __slots__ = ("_view",)
+
+    def __init__(self, view: SchemeView) -> None:
+        self._view = view
+
+    def __getitem__(self, label: Hashable) -> int:
+        return self._view.physical_of(label)
+
+    def __iter__(self):
+        return iter(self._view)
+
+    def __len__(self) -> int:
+        return len(self._view)
+
+    def __contains__(self, label: object) -> bool:
+        return label in self._view
+
+
 class CongestClique:
     """A synchronous fully connected network of ``num_nodes`` nodes."""
 
@@ -96,35 +247,27 @@ class CongestClique:
         #: Optional observational tracer (see repro.congest.trace); never
         #: affects round charges or delivery semantics.
         self.tracer = None
-        self._schemes: dict[str, dict[Hashable, Node]] = {}
-        self._scheme_nodes: dict[str, list[Node]] = {}
-        self._scheme_positions: dict[str, dict[Hashable, int]] = {}
-        self._scheme_physical: dict[str, np.ndarray] = {}
-        # The base scheme: one label per physical node, identity placement.
-        base_nodes = [Node(i, i, self._draw_node_seed()) for i in range(num_nodes)]
-        self._install_scheme("base", base_nodes)
+        self._schemes: dict[str, SchemeView] = {}
+        # The base scheme: one label per physical node, identity placement
+        # (position == label == physical index, a pure range).
+        self._install_scheme("base", range(num_nodes))
 
-    def _draw_node_seed(self) -> int:
-        """The seed :func:`~repro.util.rng.spawn_rng` would have drawn —
-        consumed eagerly so the network stream is byte-identical to the
-        eager-spawn era, while generator construction stays lazy."""
-        return int(self.rng.integers(0, 2**63 - 1))
+    def _draw_node_seeds(self, count: int) -> np.ndarray:
+        """The per-label seeds :func:`~repro.util.rng.spawn_rng` would have
+        drawn one by one — consumed in a single batched call, which leaves
+        the parent stream byte-identical to ``count`` sequential scalar
+        draws (property-tested in ``tests/test_step2_equivalence.py``),
+        while generator construction stays lazy per node."""
+        return self.rng.integers(0, 2**63 - 1, size=count)
 
     # -- labeling schemes ------------------------------------------------
 
-    def _install_scheme(self, name: str, nodes: list[Node]) -> dict[Hashable, Node]:
-        scheme = {node.label: node for node in nodes}
-        self._schemes[name] = scheme
-        self._scheme_nodes[name] = nodes
-        self._scheme_positions[name] = {
-            node.label: position for position, node in enumerate(nodes)
-        }
-        self._scheme_physical[name] = np.array(
-            [node.physical for node in nodes], dtype=np.int64
-        )
-        return scheme
+    def _install_scheme(self, name: str, labels: Sequence[Hashable]) -> SchemeView:
+        view = SchemeView(name, labels, self._draw_node_seeds(len(labels)), self.num_nodes)
+        self._schemes[name] = view
+        return view
 
-    def register_scheme(self, name: str, labels: Sequence[Hashable]) -> dict[Hashable, Node]:
+    def register_scheme(self, name: str, labels: Sequence[Hashable]) -> SchemeView:
         """Create (or replace) a labeling scheme.
 
         Labels are assigned to physical nodes round-robin in the given
@@ -132,19 +275,27 @@ class CongestClique:
         virtual nodes share one physical node (and hence its bandwidth);
         this is the standard virtual-node simulation argument and is how the
         implementation handles ``n`` that is not an exact fourth power.
+
+        Registration is O(1) Python objects: the labels are kept as given
+        (arithmetic constructors such as
+        :class:`~repro.congest.partitions.GridLabels` stay symbolic), seeds
+        are drawn in one batched call, and :class:`Node` objects materialize
+        lazily through the returned :class:`SchemeView`.  Label sequences
+        that declare ``duplicate_free`` (distinct by construction) skip the
+        duplicate scan.
         """
         if name == "base":
             raise NetworkError("the 'base' scheme is reserved")
-        if len(set(labels)) != len(labels):
-            raise NetworkError(f"scheme {name!r} has duplicate labels")
-        nodes = [
-            Node(label, index % self.num_nodes, self._draw_node_seed())
-            for index, label in enumerate(labels)
-        ]
-        return self._install_scheme(name, nodes)
+        if not hasattr(labels, "__getitem__"):
+            labels = list(labels)
+        if not getattr(labels, "duplicate_free", False):
+            if len(set(labels)) != len(labels):
+                raise NetworkError(f"scheme {name!r} has duplicate labels")
+        return self._install_scheme(name, labels)
 
-    def scheme(self, name: str) -> dict[Hashable, Node]:
-        """The label → node mapping of a registered scheme."""
+    def scheme(self, name: str) -> SchemeView:
+        """The label → node mapping of a registered scheme (a lazy
+        :class:`SchemeView`; reads like the historical dict)."""
         try:
             return self._schemes[name]
         except KeyError:
@@ -155,16 +306,15 @@ class CongestClique:
 
         Positions are the label indices the columnar message plane routes
         on; for ``"base"`` the position equals the physical node index.
+        Built lazily — the columnar hot path never asks for it.
         """
-        self.scheme(name)
-        return self._scheme_positions[name]
+        return self.scheme(name).positions()
 
     def scheme_physical(self, name: str) -> np.ndarray:
         """Physical host per label position — ``position % num_nodes`` for
         round-robin schemes, exposed as an array so call sites can build
         columnar batches arithmetically."""
-        self.scheme(name)
-        return self._scheme_physical[name]
+        return self.scheme(name).physical_array()
 
     def node(self, index: int) -> Node:
         """The base-scheme node with physical index ``index``."""
@@ -172,7 +322,8 @@ class CongestClique:
 
     def base_nodes(self) -> list[Node]:
         """All base-scheme nodes in index order."""
-        return self._scheme_nodes["base"]
+        base = self._schemes["base"]
+        return [base.node_at(index) for index in range(self.num_nodes)]
 
     # -- communication ----------------------------------------------------
 
@@ -226,14 +377,14 @@ class CongestClique:
         rounds = route_rounds(self.num_nodes, src_load, dst_load)
         self.ledger.charge(phase, rounds)
         if batch.payloads is not None:
-            src_nodes = self._scheme_nodes[scheme]
-            dst_nodes = self._scheme_nodes[dst_scheme]
+            src_view = self._schemes[scheme]
+            dst_view = self._schemes[dst_scheme]
             for i in range(len(batch)):
                 index = int(batch.payload_index[i])
                 if index < 0:
                     continue
-                dst_nodes[int(batch.dst[i])].inbox.append(
-                    (src_nodes[int(batch.src[i])].label, batch.payloads[index])
+                dst_view.node_at(int(batch.dst[i])).inbox.append(
+                    (src_view.label_at(int(batch.src[i])), batch.payloads[index])
                 )
         if self.tracer is not None:
             self.tracer.record(
@@ -267,19 +418,20 @@ class CongestClique:
         """
         if not payloads:
             return 0.0
-        src_nodes = self.scheme(scheme)
+        src_view = self.scheme(scheme)
+        receivers = self.base_nodes()
         per_physical = [0] * self.num_nodes
         for label, (payload, size_words) in payloads.items():
             if size_words <= 0:
                 raise NetworkError(f"broadcast of non-positive size from {label!r}")
             try:
-                src = src_nodes[label]
+                physical = src_view.physical_of(label)
             except KeyError:
                 raise NetworkError(
                     f"unknown broadcaster label {label!r} in scheme {scheme!r}"
                 ) from None
-            per_physical[src.physical] += size_words
-            for node in self.base_nodes():
+            per_physical[physical] += size_words
+            for node in receivers:
                 node.inbox.append((label, payload))
         rounds = float(max(per_physical))
         self.ledger.charge(phase, rounds)

@@ -20,13 +20,202 @@ says to round otherwise), block counts are rounded and schemes may carry
 slightly more than ``n`` labels; the network maps surplus virtual labels
 onto physical nodes round-robin, which preserves all load/round accounting
 (shared bandwidth is charged per physical node).
+
+Label sets are *arithmetic constructors* (:class:`GridLabels`,
+:class:`ProductLabels`, :class:`DistinctLabels`): sequence views that
+compute the label at a position — and the position of a label — instead of
+storing per-label tuples, and that declare themselves duplicate-free by
+construction.  Registering a scheme built on one is O(1) Python objects
+(see :class:`repro.congest.network.SchemeView`).
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+from itertools import product
+from typing import Hashable, Iterable, Iterator
+
 import numpy as np
 
 from repro.errors import NetworkError
+
+
+class GridLabels(Sequence):
+    """Arithmetic label constructor: all index tuples over a dense grid.
+
+    The label at position ``p`` is the row-major decomposition of ``p`` over
+    ``shape`` — e.g. ``GridLabels(C, C, F)[p] = (p // (C·F), (p // F) % C,
+    p % F)``, exactly the ``(bu, bv, bw)`` triples the paper's schemes use.
+    Nothing is stored per label: ``position_of`` inverts the arithmetic, so
+    a :class:`~repro.congest.network.CongestClique` scheme built on top of
+    this is O(1) Python objects, and the duplicate-label check is skipped
+    (``duplicate_free`` — a dense grid cannot repeat a tuple).
+    """
+
+    __slots__ = ("shape", "_strides", "_size")
+
+    #: Distinct by construction: registration skips the ``set()`` scan.
+    duplicate_free = True
+
+    def __init__(self, *shape: int) -> None:
+        if not shape:
+            raise NetworkError("grid labels need at least one dimension")
+        self.shape = tuple(int(dim) for dim in shape)
+        if min(self.shape) < 1:
+            raise NetworkError(f"grid dimensions must be positive, got {shape}")
+        strides: list[int] = []
+        size = 1
+        for dim in reversed(self.shape):
+            strides.append(size)
+            size *= dim
+        self._strides = tuple(reversed(strides))
+        self._size = size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __getitem__(self, position: int) -> tuple[int, ...]:
+        position = int(position)
+        if position < 0:
+            position += self._size
+        if not 0 <= position < self._size:
+            raise IndexError(position)
+        return tuple(
+            (position // stride) % dim
+            for stride, dim in zip(self._strides, self.shape)
+        )
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return product(*(range(dim) for dim in self.shape))
+
+    def position_of(self, label: Hashable) -> int:
+        """Position of ``label`` in registration order (row-major).
+
+        Raises :class:`KeyError` for anything that is not an in-range index
+        tuple — the mapping-lookup contract the network's schemes rely on.
+        """
+        if not isinstance(label, tuple) or len(label) != len(self.shape):
+            raise KeyError(label)
+        position = 0
+        for component, dim, stride in zip(label, self.shape, self._strides):
+            if not isinstance(component, (int, np.integer)):
+                raise KeyError(label)
+            if not 0 <= component < dim:
+                raise KeyError(label)
+            position += int(component) * stride
+        return position
+
+    def __contains__(self, label: object) -> bool:
+        try:
+            self.position_of(label)
+        except KeyError:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"GridLabels{self.shape}"
+
+
+class ProductLabels(Sequence):
+    """Arithmetic label constructor ``prefixes × range(count)``.
+
+    The label at position ``p`` is ``prefixes[p // count] + (p % count,)`` —
+    the shape of the bandwidth-duplication schemes ``Tα × [2^α/(720 log n)]``
+    (Section 5.3.2), where ``prefixes`` are the class-``α`` triples and
+    ``count`` the duplication factor.  Duplicate-free whenever the prefixes
+    are distinct, which the callers guarantee by construction (they pass
+    dict keys).
+    """
+
+    __slots__ = ("_prefixes", "_count", "_prefix_positions")
+
+    duplicate_free = True
+
+    def __init__(self, prefixes: Iterable[tuple], count: int) -> None:
+        self._prefixes = list(prefixes)
+        self._count = int(count)
+        if self._count < 1:
+            raise NetworkError(f"label product needs count >= 1, got {count}")
+        self._prefix_positions: dict[tuple, int] | None = None
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def __len__(self) -> int:
+        return len(self._prefixes) * self._count
+
+    def __getitem__(self, position: int) -> tuple:
+        position = int(position)
+        if position < 0:
+            position += len(self)
+        if not 0 <= position < len(self):
+            raise IndexError(position)
+        prefix, suffix = divmod(position, self._count)
+        return self._prefixes[prefix] + (suffix,)
+
+    def __iter__(self) -> Iterator[tuple]:
+        for prefix in self._prefixes:
+            for suffix in range(self._count):
+                yield prefix + (suffix,)
+
+    def position_of(self, label: Hashable) -> int:
+        if not isinstance(label, tuple) or len(label) < 2:
+            raise KeyError(label)
+        suffix = label[-1]
+        if not isinstance(suffix, (int, np.integer)) or not 0 <= suffix < self._count:
+            raise KeyError(label)
+        if self._prefix_positions is None:
+            self._prefix_positions = {
+                prefix: index for index, prefix in enumerate(self._prefixes)
+            }
+        try:
+            prefix_position = self._prefix_positions[label[:-1]]
+        except (KeyError, TypeError):
+            raise KeyError(label) from None
+        return prefix_position * self._count + int(suffix)
+
+    def __contains__(self, label: object) -> bool:
+        try:
+            self.position_of(label)
+        except KeyError:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"ProductLabels({len(self._prefixes)} prefixes × {self._count})"
+
+
+class DistinctLabels(Sequence):
+    """Mark a label sequence as duplicate-free by construction.
+
+    For callers whose labels come from an already-deduplicated source (dict
+    keys, set iteration) — registration trusts the promise and skips the
+    ``set()`` duplicate scan that would otherwise rebuild exactly the
+    structure the caller started from.
+    """
+
+    __slots__ = ("_labels",)
+
+    duplicate_free = True
+
+    def __init__(self, labels: Iterable[Hashable]) -> None:
+        self._labels = labels if isinstance(labels, (list, tuple)) else list(labels)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __getitem__(self, position: int) -> Hashable:
+        return self._labels[position]
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._labels)
+
+    def __contains__(self, label: object) -> bool:
+        return label in self._labels
+
+    def __repr__(self) -> str:
+        return f"DistinctLabels({len(self._labels)} labels)"
 
 
 class BlockPartition:
@@ -109,25 +298,18 @@ class CliquePartitions:
     def num_fine(self) -> int:
         return self.fine.num_blocks
 
-    def triple_labels(self) -> list[tuple[int, int, int]]:
+    def triple_labels(self) -> GridLabels:
         """Labels of the triple scheme ``T = V × V × V′`` as
-        ``(coarse_u, coarse_v, fine_w)`` index triples."""
-        return [
-            (u, v, w)
-            for u in range(self.num_coarse)
-            for v in range(self.num_coarse)
-            for w in range(self.num_fine)
-        ]
+        ``(coarse_u, coarse_v, fine_w)`` index triples — an arithmetic
+        :class:`GridLabels` view, so registering the scheme stores no
+        per-label Python objects."""
+        return GridLabels(self.num_coarse, self.num_coarse, self.num_fine)
 
-    def search_labels(self) -> list[tuple[int, int, int]]:
+    def search_labels(self) -> GridLabels:
         """Labels of the search scheme ``V × V × [√n]`` as
-        ``(coarse_u, coarse_v, x)`` index triples."""
-        return [
-            (u, v, x)
-            for u in range(self.num_coarse)
-            for v in range(self.num_coarse)
-            for x in range(self.num_fine)
-        ]
+        ``(coarse_u, coarse_v, x)`` index triples (arithmetic view, like
+        :meth:`triple_labels`)."""
+        return GridLabels(self.num_coarse, self.num_coarse, self.num_fine)
 
     def coarse_pairs(self) -> list[tuple[int, int]]:
         """All ordered coarse-block index pairs ``(u, v)`` (the paper's

@@ -1,13 +1,22 @@
-"""Reference loop builders for the protocol traffic patterns.
+"""Reference loop forms for the protocol hot paths.
 
 Every arithmetic batch builder in the library replaced a per-message Python
-loop.  The loops live on here, written in the most literal node-major form
-("for each triple node, for each sender, append one message"), as the
-executable specification the equivalence property tests compare against:
+loop, and the segmented Step-2 sampler replaced a per-search-node loop.
+The loops live on here, written in the most literal node-major form
+("for each triple node, for each sender, append one message"; "for each
+search node, draw, check balance, slice"), as the executable specification
+the equivalence property tests compare against:
 ``tests/test_builder_equivalence.py`` asserts that the arithmetic builders
 produce identical :class:`~repro.congest.batch.MessageBatch` contents (in
-canonical order) and identical ``router.batch_loads`` histograms on seeded
-random instances.
+canonical order) and identical ``router.batch_loads`` histograms, and
+``tests/test_step2_equivalence.py`` asserts that
+:func:`repro.core.compute_pairs._step2_sample` reproduces
+:func:`step2_sample_loops` byte for byte — node pairs, weights, witness
+tables, coverage, delivered batches, round charges, and the RNG stream.
+:func:`register_scheme_eager` likewise preserves the eager
+one-Node-per-label scheme registration that
+:meth:`~repro.congest.network.CongestClique.register_scheme` replaced with
+lazy array-backed views.
 
 Nothing here is called on a hot path — the point of these functions is to
 be obviously correct, not fast.
@@ -15,12 +24,14 @@ be obviously correct, not fast.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Hashable, Sequence
 
 import numpy as np
 
 from repro.congest.batch import MessageBatch
+from repro.congest.network import CongestClique, Node
 from repro.congest.partitions import BlockPartition, CliquePartitions
+from repro.errors import NetworkError, ProtocolAbortedError
 
 
 def _batch_from_lists(src: list[int], dst: list[int], size: list[int]) -> MessageBatch:
@@ -116,3 +127,163 @@ def censor_hillel_batches_loops(
         _batch_from_lists(g_src, g_dst, g_size),
         _batch_from_lists(a_src, a_dst, a_size),
     )
+
+
+def register_scheme_eager(
+    network: CongestClique, name: str, labels: Sequence[Hashable]
+) -> dict[Hashable, Node]:
+    """Eager scheme registration, one ``Node`` per label — the pre-PR-4 form.
+
+    Draws the per-label seeds one scalar ``integers`` call at a time from
+    the network generator (the batched draw in
+    :meth:`~repro.congest.network.CongestClique.register_scheme` must leave
+    the parent stream in exactly the same state) and builds the full
+    label → Node dict up front.  The scheme is *not* installed on the
+    network — this exists so tests and benchmarks can compare seeds, node
+    RNG streams, and wall time against the lazy array-backed view.
+    """
+    if len(set(labels)) != len(labels):
+        raise NetworkError(f"scheme {name!r} has duplicate labels")
+    nodes = [
+        Node(label, index % network.num_nodes, int(network.rng.integers(0, 2**63 - 1)))
+        for index, label in enumerate(labels)
+    ]
+    return {node.label: node for node in nodes}
+
+
+def _step2_empty_node_entry(num_fine: int):
+    return (
+        np.empty((0, 2), dtype=np.int64),
+        np.empty(0),
+        np.empty((0, num_fine), dtype=bool),
+    )
+
+
+def _step2_witness_table(
+    pairs: np.ndarray,
+    two_hop: np.ndarray,
+    weights: np.ndarray,
+    bu: int,
+    bv: int,
+    start_u: int,
+    start_v: int,
+    coarse,
+) -> np.ndarray:
+    """``table[ℓ, w] = True`` iff fine block ``w`` contains a witness
+    closing a negative triangle with pair ``ℓ`` (one node at a time)."""
+    if len(pairs) == 0:
+        return np.empty((0, two_hop.shape[2]), dtype=bool)
+    a = pairs[:, 0]
+    b = pairs[:, 1]
+    a_in_u = coarse.block_index_array()[a] == bu
+    rows = np.where(a_in_u, a - start_u, b - start_u)
+    cols = np.where(a_in_u, b - start_v, a - start_v)
+    values = two_hop[rows, cols, :]  # (num_pairs, num_fine)
+    return values < -weights[:, None]
+
+
+def step2_sample_loops(
+    network: CongestClique,
+    partitions: CliquePartitions,
+    instance,
+    constants,
+    rng: np.random.Generator,
+    two_hop_for,
+):
+    """Step 2 of ComputePairs, one search node at a time — the loop form
+    :func:`repro.core.compute_pairs._step2_sample` replaced with a single
+    segmented pass.
+
+    Draws one ``(F, |P(u, v)|)`` uniform block per coarse block pair (the
+    stream layout the segmented pass must reproduce), then iterates every
+    ``(bu, bv, x)`` search node in Python: per-node balance check (Lemma 2
+    (i)), per-node ``np.unique`` owner loads, per-node eligibility filter
+    and witness-table slice.
+    """
+    n = instance.num_vertices
+    rate = constants.lambda_rate(n)
+    balance = constants.balance_bound(n)
+    scope = instance.effective_scope()
+    pair_weights = instance.effective_pair_graph().weights
+    coarse = partitions.coarse
+
+    scope_mask = np.zeros((n, n), dtype=bool)
+    if scope:
+        scope_rows = np.fromiter((a for a, _ in scope), dtype=np.int64, count=len(scope))
+        scope_cols = np.fromiter((b for _, b in scope), dtype=np.int64, count=len(scope))
+        scope_mask[scope_rows, scope_cols] = True
+    eligible_mask = scope_mask & np.isfinite(pair_weights)
+    covered_mask = np.zeros((n, n), dtype=bool)
+
+    search_positions: list[np.ndarray] = []
+    owner_vertices: list[np.ndarray] = []
+    owner_counts: list[np.ndarray] = []
+    node_pairs: dict[tuple[int, int, int], tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+    num_fine = partitions.num_fine
+
+    for bu in range(partitions.num_coarse):
+        for bv in range(partitions.num_coarse):
+            all_pairs = partitions.block_pairs(bu, bv)
+            if len(all_pairs) == 0:
+                continue
+            block_u = coarse.block(bu)
+            start_u = int(block_u[0])
+            start_v = int(coarse.block(bv)[0])
+            masks = rng.random((num_fine, len(all_pairs))) < rate
+            for x in range(partitions.num_fine):
+                label = (bu, bv, x)
+                lam = all_pairs[masks[x]]
+                if len(lam) == 0:
+                    node_pairs[label] = _step2_empty_node_entry(partitions.num_fine)
+                    continue
+                touching_u = np.concatenate([lam[:, 0], lam[:, 1]])
+                touching_u = touching_u[
+                    (touching_u >= block_u[0]) & (touching_u <= block_u[-1])
+                ]
+                if touching_u.size:
+                    max_count = int(
+                        np.bincount(touching_u - int(block_u[0])).max()
+                    )
+                    if max_count > balance:
+                        raise ProtocolAbortedError(
+                            "compute_pairs.step2",
+                            f"Λ_{x}({bu},{bv}) unbalanced: "
+                            f"{max_count} > {balance:.1f}",
+                        )
+                owners, counts = np.unique(lam[:, 0], return_counts=True)
+                position = (bu * partitions.num_coarse + bv) * num_fine + x
+                search_positions.append(
+                    np.full(owners.size, position, dtype=np.int64)
+                )
+                owner_vertices.append(owners)
+                owner_counts.append(counts)
+                kept = lam[eligible_mask[lam[:, 0], lam[:, 1]]]
+                covered_mask[kept[:, 0], kept[:, 1]] = True
+                weights = pair_weights[kept[:, 0], kept[:, 1]]
+                witness_table = _step2_witness_table(
+                    kept, two_hop_for(bu, bv), weights, bu, bv, start_u, start_v, coarse
+                )
+                node_pairs[label] = (kept, weights, witness_table)
+
+    if search_positions:
+        nodes = np.concatenate(search_positions)
+        owners = np.concatenate(owner_vertices)
+        counts = np.concatenate(owner_counts)
+    else:
+        nodes = owners = counts = np.empty(0, dtype=np.int64)
+    network.deliver(
+        MessageBatch(nodes, owners, counts),
+        "compute_pairs.step2_request", scheme="search", dst_scheme="base",
+    )
+    network.deliver(
+        MessageBatch(owners, nodes, 2 * counts),
+        "compute_pairs.step2_reply", scheme="base", dst_scheme="search",
+    )
+
+    num_eligible = int(np.count_nonzero(eligible_mask))
+    coverage = (
+        1.0
+        if num_eligible == 0
+        else int(np.count_nonzero(covered_mask & eligible_mask)) / num_eligible
+    )
+    return node_pairs, coverage

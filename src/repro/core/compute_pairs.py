@@ -39,6 +39,10 @@ from repro.core.quantum_step3 import run_step3
 from repro.errors import ConvergenceError, ProtocolAbortedError
 from repro.util.rng import RngLike, ensure_rng, spawn_rng
 
+#: Rows per witness-table gather chunk in Step 2 — sized so the float
+#: gather temporary (chunk × √n entries) stays cache-resident.
+_WITNESS_CHUNK = 32768
+
 
 def compute_pairs(
     instance: FindEdgesInstance,
@@ -244,8 +248,23 @@ def _step2_sample(
     rng: np.random.Generator,
     two_hop_for,
 ):
-    """Step 2: sample ``Λx(u, v)``, enforce well-balancedness, and load the
-    pair weights / scope membership of the sampled pairs.
+    """Step 2 as one segmented pass: sample every ``Λx(u, v)``, enforce
+    well-balancedness, and load the pair weights / scope membership of the
+    sampled pairs — with no per-search-node Python loop.
+
+    Every coarse block pair ``(bu, bv)`` with at least one pair in
+    ``P(u, v)`` is a *segment*; a single uniform draw covers the whole
+    ``(segment, x, pair)`` cell grid and consumes the generator stream
+    exactly as the per-segment ``(F, |P|)`` draws did (the loop form
+    survives as :func:`repro.core._reference.step2_sample_loops` and the
+    byte-identity — node pairs, weights, witness tables, coverage,
+    delivered batches, rounds, RNG stream — is property-tested in
+    ``tests/test_step2_equivalence.py``).  Per segment, balance checks
+    (Lemma 2 (i)) run as one bincount over ``(x, block-local vertex)``
+    keys, owner loads as one ``np.unique`` over ``(x, owner)`` keys,
+    eligibility/coverage as one mask, and the witness truth tables build in
+    one fancy-index — all ``√n`` search nodes of the segment at once, on
+    cache-sized arrays.
 
     Returns ``(node_pairs, coverage)`` where ``node_pairs`` maps each search
     label to ``(pairs, weights, witness_table)`` for its kept (in-scope)
@@ -258,6 +277,8 @@ def _step2_sample(
     scope = instance.effective_scope()
     pair_weights = instance.effective_pair_graph().weights
     coarse = partitions.coarse
+    num_coarse = partitions.num_coarse
+    num_fine = partitions.num_fine
 
     # Scope membership and eligibility as boolean matrices (canonical pair
     # positions), so sampled pairs filter with one fancy index instead of a
@@ -270,70 +291,117 @@ def _step2_sample(
     eligible_mask = scope_mask & np.isfinite(pair_weights)
     covered_mask = np.zeros((n, n), dtype=bool)
 
-    # Request/reply traffic in columnar form: search-node position, pair
-    # owner, and pair count per (node, owner) edge of the loading pattern.
-    search_positions: list[np.ndarray] = []
-    owner_vertices: list[np.ndarray] = []
-    owner_counts: list[np.ndarray] = []
+    starts = coarse.block_starts()
+    sizes = coarse.block_sizes()
+    max_block = coarse.max_block_size
+    request_nodes: list[np.ndarray] = []
+    request_owners: list[np.ndarray] = []
+    request_counts: list[np.ndarray] = []
     node_pairs: dict[tuple[int, int, int], tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
-    num_fine = partitions.num_fine
 
-    for bu in range(partitions.num_coarse):
-        for bv in range(partitions.num_coarse):
-            all_pairs = partitions.block_pairs(bu, bv)
-            if len(all_pairs) == 0:
+    # One pass over the coarse block pairs (the segments).  Per segment the
+    # draw is one flat ``F·|P|`` call — the row-major (F, |P|) block the
+    # loop form drew, so the generator stream is identical — and every
+    # stage below handles all ``√n`` search nodes of the segment at once
+    # on arrays that are still cache-hot from the draw.
+    for bu in range(num_coarse):
+        for bv in range(num_coarse):
+            pairs = partitions.block_pairs(bu, bv)
+            num_pairs = len(pairs)
+            if num_pairs == 0:
                 continue
-            block_u = coarse.block(bu)
-            start_u = int(block_u[0])
-            start_v = int(coarse.block(bv)[0])
-            # One draw for all x of this block pair: filling an (F, |P|)
-            # array row by row consumes the generator stream exactly as the
-            # per-x draws did.
-            masks = rng.random((num_fine, len(all_pairs))) < rate
-            for x in range(partitions.num_fine):
-                label = (bu, bv, x)
-                lam = all_pairs[masks[x]]
-                if len(lam) == 0:
-                    node_pairs[label] = _empty_node_entry(partitions.num_fine)
-                    continue
-                # Well-balancedness (Lemma 2 (i)): for every u in block u,
-                # the number of sampled pairs touching u stays below the cap.
-                touching_u = np.concatenate([lam[:, 0], lam[:, 1]])
-                touching_u = touching_u[
-                    (touching_u >= block_u[0]) & (touching_u <= block_u[-1])
-                ]
-                if touching_u.size:
-                    max_count = int(
-                        np.bincount(touching_u - int(block_u[0])).max()
-                    )
-                    if max_count > balance:
-                        raise ProtocolAbortedError(
-                            "compute_pairs.step2",
-                            f"Λ_{x}({bu},{bv}) unbalanced: "
-                            f"{max_count} > {balance:.1f}",
-                        )
-                # Load pair weights & scope bits from the pair owners: the
-                # request names each pair (1 word), the reply carries weight
-                # plus membership (2 words).
-                owners, counts = np.unique(lam[:, 0], return_counts=True)
-                position = (bu * partitions.num_coarse + bv) * num_fine + x
-                search_positions.append(
-                    np.full(owners.size, position, dtype=np.int64)
-                )
-                owner_vertices.append(owners)
-                owner_counts.append(counts)
-                kept = lam[eligible_mask[lam[:, 0], lam[:, 1]]]
-                covered_mask[kept[:, 0], kept[:, 1]] = True
-                weights = pair_weights[kept[:, 0], kept[:, 1]]
-                witness_table = _witness_table(
-                    kept, two_hop_for(bu, bv), weights, bu, bv, start_u, start_v, coarse
-                )
-                node_pairs[label] = (kept, weights, witness_table)
+            seg = bu * num_coarse + bv
+            uniforms = rng.random(num_fine * num_pairs)
+            # Row-major 2D nonzero yields (x, pair) coordinates directly —
+            # in the same per-node, pair-ascending order as the loop form,
+            # with no per-sample division.
+            x_of, j_of = np.nonzero((uniforms < rate).reshape(num_fine, num_pairs))
+            a = pairs[j_of, 0]
+            b = pairs[j_of, 1]
 
-    if search_positions:
-        nodes = np.concatenate(search_positions)
-        owners = np.concatenate(owner_vertices)
-        counts = np.concatenate(owner_counts)
+            # Well-balancedness (Lemma 2 (i)): count sampled pairs per
+            # (x, block-u vertex) in one bincount over all x of the segment;
+            # abort on the first violating x, exactly as the per-node loop did
+            # (segments are visited in its (bu, bv) order, so the first
+            # violating key here is the loop's first violating node).
+            start_u = int(starts[bu])
+            size_u = int(sizes[bu])
+            ends = np.concatenate([a, b])
+            end_x = np.concatenate([x_of, x_of])
+            in_u = (ends >= start_u) & (ends < start_u + size_u)
+            balance_keys = end_x[in_u] * max_block + (ends[in_u] - start_u)
+            if balance_keys.size:
+                per_vertex = np.bincount(balance_keys)
+                if int(per_vertex.max()) > balance:
+                    first_x = int(np.nonzero(per_vertex > balance)[0][0]) // max_block
+                    max_count = int(
+                        per_vertex[first_x * max_block : (first_x + 1) * max_block].max()
+                    )
+                    raise ProtocolAbortedError(
+                        "compute_pairs.step2",
+                        f"Λ_{first_x}({bu},{bv}) unbalanced: "
+                        f"{max_count} > {balance:.1f}",
+                    )
+
+            # Owner loads: the request names each pair (1 word) at its owner
+            # (the pair's first endpoint), the reply carries weight plus
+            # membership (2 words).  A bincount over (x, owner) keys — the
+            # key space is only F·n — replaces the loop form's per-node
+            # np.unique sort; nonzero of the counts enumerates x-major then
+            # owner-ascending, exactly the concatenation the loop produced.
+            key_counts = np.bincount(x_of * n + a)
+            unique_keys = np.nonzero(key_counts)[0]
+            request_nodes.append(seg * num_fine + unique_keys // n)
+            request_owners.append(unique_keys % n)
+            request_counts.append(key_counts[unique_keys])
+
+            # Eligibility, coverage, kept pairs, and the witness truth tables —
+            # one mask and one fancy-index for the whole segment.
+            # table[ℓ, w] = True iff fine block w contains a witness closing a
+            # negative triangle with pair ℓ: min_{w∈w}(f(a,w) + f(w,b)) < −f(a,b).
+            # Canonical pairs may have their first endpoint in either block; the
+            # two-hop tensor is symmetric in the pair (undirected weights), so a
+            # swapped pair indexes as [b_local, a_local].
+            elig = eligible_mask[a, b]
+            ka = a[elig]
+            kb = b[elig]
+            kx = x_of[elig]
+            covered_mask[ka, kb] = True
+            kept_pairs = np.stack([ka, kb], axis=1)
+            kept_weights = pair_weights[ka, kb]
+            tables = np.empty((int(ka.size), num_fine), dtype=bool)
+            if ka.size:
+                a_in_u = (ka >= start_u) & (ka < start_u + size_u)
+                start_v = int(starts[bv])
+                rows_local = np.where(a_in_u, ka - start_u, kb - start_u)
+                cols_local = np.where(a_in_u, kb - start_v, ka - start_v)
+                two_hop = two_hop_for(bu, bv)
+                # Gather in cache-sized chunks: the (rows, fine) float
+                # temporary stays resident instead of streaming RAM.
+                for chunk_lo in range(0, int(ka.size), _WITNESS_CHUNK):
+                    part = slice(chunk_lo, min(chunk_lo + _WITNESS_CHUNK, int(ka.size)))
+                    tables[part] = (
+                        two_hop[rows_local[part], cols_local[part], :]
+                        < -kept_weights[part, None]
+                    )
+
+            # Per-label views: slice the segment's kept arrays back into the
+            # node dict (Step 3's interface).  kx is non-decreasing (sample
+            # order), so each x owns one contiguous slice; labels whose Λx is
+            # empty or fully filtered get canonical empty views.
+            x_bounds = np.searchsorted(kx, np.arange(num_fine + 1))
+            for x in range(num_fine):
+                x_lo, x_hi = int(x_bounds[x]), int(x_bounds[x + 1])
+                node_pairs[(bu, bv, x)] = (
+                    kept_pairs[x_lo:x_hi],
+                    kept_weights[x_lo:x_hi],
+                    tables[x_lo:x_hi],
+                )
+
+    if request_nodes:
+        nodes = np.concatenate(request_nodes)
+        owners = np.concatenate(request_owners)
+        counts = np.concatenate(request_counts)
     else:
         nodes = owners = counts = np.empty(0, dtype=np.int64)
     network.deliver(
@@ -352,40 +420,3 @@ def _step2_sample(
         else int(np.count_nonzero(covered_mask & eligible_mask)) / num_eligible
     )
     return node_pairs, coverage
-
-
-def _empty_node_entry(num_fine: int):
-    return (
-        np.empty((0, 2), dtype=np.int64),
-        np.empty(0),
-        np.empty((0, num_fine), dtype=bool),
-    )
-
-
-def _witness_table(
-    pairs: np.ndarray,
-    two_hop: np.ndarray,
-    weights: np.ndarray,
-    bu: int,
-    bv: int,
-    start_u: int,
-    start_v: int,
-    coarse,
-) -> np.ndarray:
-    """``table[ℓ, w] = True`` iff fine block ``w`` contains a witness
-    closing a negative triangle with pair ``ℓ``:
-    ``min_{w∈w}(f(a, w) + f(w, b)) < −f(a, b)``.
-
-    Canonical pairs may have their first endpoint in either block; the
-    two-hop tensor is symmetric in the pair (undirected weights), so a
-    swapped pair indexes as ``[b_local, a_local]``.
-    """
-    if len(pairs) == 0:
-        return np.empty((0, two_hop.shape[2]), dtype=bool)
-    a = pairs[:, 0]
-    b = pairs[:, 1]
-    a_in_u = coarse.block_index_array()[a] == bu
-    rows = np.where(a_in_u, a - start_u, b - start_u)
-    cols = np.where(a_in_u, b - start_v, a - start_v)
-    values = two_hop[rows, cols, :]  # (num_pairs, num_fine)
-    return values < -weights[:, None]

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.congest.network import CongestClique
-from repro.congest.partitions import CliquePartitions
+from repro.congest.partitions import CliquePartitions, DistinctLabels
 from repro.core.constants import PaperConstants
 from repro.core.problems import FindEdgesInstance
 from repro.errors import ProtocolAbortedError
@@ -167,8 +167,11 @@ def run_identify_class(
     }
     # Broadcasting one word from each of the n triple nodes costs O(1)
     # rounds; the triple labels live on the triple scheme, so charge through
-    # the physical hosts of that scheme.
-    network.register_scheme("identify_class_announce", list(class_payloads.keys()))
+    # the physical hosts of that scheme.  The labels are dict keys —
+    # duplicate-free by construction, so registration skips the set() scan.
+    network.register_scheme(
+        "identify_class_announce", DistinctLabels(list(class_payloads.keys()))
+    )
     network.broadcast_all(
         class_payloads, "identify_class.broadcast_classes", scheme="identify_class_announce"
     )

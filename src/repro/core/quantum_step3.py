@@ -28,7 +28,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.congest.network import CongestClique
-from repro.congest.partitions import CliquePartitions
+from repro.congest.partitions import CliquePartitions, ProductLabels
 from repro.core.constants import PaperConstants
 from repro.core.evaluation import (
     duplication_count,
@@ -135,44 +135,36 @@ def _run_class(
         return
 
     # --- destination labels (duplicated triple nodes) and Step 0 charge ---
-    triple_scheme = network.scheme("triple")
+    # Physical hosts come straight off the lazy scheme views — no Node (or
+    # per-label dict entry) is materialized for any of this accounting.
+    triple_physical = network.scheme("triple").physical_lookup()
     if dup > 1:
-        dup_labels = [
-            (bu, bv, bw, y)
-            for (bu, bv, bw), cls in assignment.classes.items()
-            if cls == alpha
-            for y in range(dup)
+        alpha_triples = [
+            label for label, cls in assignment.classes.items() if cls == alpha
         ]
+        dup_labels = ProductLabels(alpha_triples, dup)
         scheme_name = f"step3_dup_alpha{alpha}"
-        dup_scheme = network.register_scheme(scheme_name, dup_labels)
-        dest_physical = {label: node.physical for label, node in dup_scheme.items()}
+        dest_physical = network.register_scheme(scheme_name, dup_labels).physical_lookup()
         # Fig. 5 Step 0: replicate the Step-1 data to the duplicates (once).
-        source_physical = {
-            label: node.physical for label, node in triple_scheme.items()
-        }
         size_u = partitions.coarse.max_block_size
         size_w = partitions.fine.max_block_size
         words = size_u * size_w * 2  # F_uw plus F_wv
         duplicate_physical = {
-            (bu, bv, bw): [dest_physical[(bu, bv, bw, y)] for y in range(dup)]
-            for (bu, bv, bw), cls in assignment.classes.items()
-            if cls == alpha
+            triple: [dest_physical[triple + (y,)] for y in range(dup)]
+            for triple in alpha_triples
         }
         step0 = step0_duplication_loads(
             network.num_nodes,
-            source_physical,
+            triple_physical,
             duplicate_physical,
             {label: words for label in duplicate_physical},
         )
         network.charge_local(f"step3.alpha{alpha}.duplication", step0)
     else:
-        dest_physical = {
-            label: node.physical for label, node in triple_scheme.items()
-        }
+        dest_physical = triple_physical
 
     # --- evaluation round cost of one oracle application -----------------
-    search_scheme = network.scheme("search")
-    node_physical = {label: node.physical for label, node in search_scheme.items()}
+    node_physical = network.scheme("search").physical_lookup()
     query_plan: dict[object, dict[object, int]] = {}
     for label, blocks in domains.items():
         bu, bv, _x = label

@@ -10,7 +10,11 @@ plain ``git diff``.
 
 Usage::
 
-    python tools/bench_summary.py [--output BENCH_SUMMARY.json]
+    python tools/bench_summary.py [--output BENCH_SUMMARY.json] [--check]
+
+``--check`` validates instead of (only) writing: every record must carry a
+non-empty ``commit`` and a numeric ``wall_seconds``, so half-filled result
+rows fail CI instead of silently polluting the cross-PR trajectory.
 """
 
 from __future__ import annotations
@@ -24,16 +28,25 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
 
 
-def collect(results_dir: pathlib.Path) -> dict:
+def collect(
+    results_dir: pathlib.Path, skipped: list[str] | None = None
+) -> dict:
+    """Collect per-experiment records; unreadable files are skipped with a
+    warning and, when ``skipped`` is given, recorded there so ``--check``
+    can fail on them instead of silently dropping the experiment."""
     experiments: dict[str, list] = {}
     for path in sorted(results_dir.glob("*.json")):
         try:
             records = json.loads(path.read_text())
         except json.JSONDecodeError as error:
             print(f"warning: skipping malformed {path.name}: {error}", file=sys.stderr)
+            if skipped is not None:
+                skipped.append(f"{path.name}: malformed JSON ({error})")
             continue
         if not isinstance(records, list):
             print(f"warning: skipping non-list {path.name}", file=sys.stderr)
+            if skipped is not None:
+                skipped.append(f"{path.name}: not a list of records")
             continue
         experiments[path.stem] = records
     commits = sorted(
@@ -52,6 +65,28 @@ def collect(results_dir: pathlib.Path) -> dict:
     }
 
 
+def check(summary: dict) -> list[str]:
+    """Schema problems in the collected records (empty list = healthy).
+
+    Each record needs a non-empty ``commit`` and a numeric ``wall_seconds``;
+    experiments whose runs predate the machine-readable schema surface here
+    the next time they regenerate, instead of degrading the summary.
+    """
+    problems: list[str] = []
+    for experiment, records in summary["experiments"].items():
+        for index, record in enumerate(records):
+            where = f"{experiment}.json row {index}"
+            if not isinstance(record, dict):
+                problems.append(f"{where}: not an object")
+                continue
+            if not record.get("commit"):
+                problems.append(f"{where}: missing commit")
+            wall = record.get("wall_seconds")
+            if not isinstance(wall, (int, float)) or isinstance(wall, bool):
+                problems.append(f"{where}: missing wall_seconds")
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -62,11 +97,28 @@ def main(argv: list[str] | None = None) -> int:
         "--output", type=pathlib.Path, default=REPO_ROOT / "BENCH_SUMMARY.json",
         help="where to write the rolled-up summary",
     )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="validate record schemas (commit, wall_seconds) and exit "
+        "non-zero on problems instead of writing the summary",
+    )
     args = parser.parse_args(argv)
     if not args.results_dir.is_dir():
         print(f"error: no results directory at {args.results_dir}", file=sys.stderr)
         return 1
-    summary = collect(args.results_dir)
+    skipped: list[str] = []
+    summary = collect(args.results_dir, skipped)
+    if args.check:
+        problems = [f"unreadable file — {reason}" for reason in skipped]
+        problems += check(summary)
+        for problem in problems:
+            print(f"check: {problem}", file=sys.stderr)
+        print(
+            f"checked {summary['num_records']} records across "
+            f"{summary['num_experiments']} experiments — "
+            f"{len(problems)} problem(s)"
+        )
+        return 1 if problems else 0
     args.output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
     print(
         f"wrote {args.output} — {summary['num_experiments']} experiments, "
