@@ -1,4 +1,4 @@
-"""E12 — the extensions: SSSP round spectrum and path reconstruction.
+"""E16 — the extensions: SSSP round spectrum and path reconstruction.
 
 Two paper remarks get their numbers here:
 
@@ -26,7 +26,7 @@ from repro.matrix.witness import path_weight
 from benchmarks.conftest import write_result
 
 
-def test_e12a_sssp_spectrum(benchmark):
+def test_e16a_sssp_spectrum(benchmark):
     model = RoundModel()
     rows = []
     bf_rounds = []
@@ -48,12 +48,12 @@ def test_e12a_sssp_spectrum(benchmark):
         ["n", "bellman-ford (1 src)", "censor-hillel (all src)", "quantum leading"],
         rows,
         title=(
-            "E12a  SSSP round spectrum "
+            "E16a  SSSP round spectrum "
             f"(Bellman–Ford fitted exponent {exponent:.2f}; "
             "O(n) vs Õ(n^{1/3}) vs Õ(n^{1/4}))"
         ),
     )
-    write_result("e12a_sssp_spectrum", table)
+    write_result("e16a_sssp_spectrum", table)
     # Bellman–Ford's iteration count tracks the graph's hop diameter; on
     # dense random digraphs that is O(log n), so the interesting check is
     # absolute: BF is cheap per source but cannot batch all sources.
@@ -68,7 +68,7 @@ def test_e12a_sssp_spectrum(benchmark):
     )
 
 
-def test_e12b_path_reconstruction_overhead(benchmark):
+def test_e16b_path_reconstruction_overhead(benchmark):
     rows = []
     for n in [8, 12, 16]:
         graph = repro.random_digraph_no_negative_cycle(n, density=0.5, rng=7)
@@ -101,11 +101,11 @@ def test_e12b_path_reconstruction_overhead(benchmark):
         ["n", "distances only", "with paths", "overhead ×", "paths verified"],
         rows,
         title=(
-            "E12b  path reconstruction overhead (footnote 1)\n"
+            "E16b  path reconstruction overhead (footnote 1)\n"
             "hop augmentation + witnessed product: a small constant/log factor"
         ),
     )
-    write_result("e12b_path_overhead", table)
+    write_result("e16b_path_overhead", table)
     # Footnote's claim: polylog, i.e. a small multiplicative factor here.
     assert all(1.0 <= row[3] < 6.0 for row in rows)
 

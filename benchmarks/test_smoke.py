@@ -109,7 +109,7 @@ def test_smoke_e11_scale_knob():
     assert len(solution.pairs - truth) == 0
 
 
-def test_smoke_e12_sssp():
+def test_smoke_e16_sssp():
     graph = repro.random_digraph_no_negative_cycle(12, density=0.5, max_weight=5, rng=4)
     report = repro.bellman_ford_distributed(graph, source=0, rng=4)
     assert np.array_equal(report.distances, repro.floyd_warshall(graph)[0])

@@ -28,6 +28,7 @@ charge identical Lemma 1 rounds.
 
 from __future__ import annotations
 
+import inspect
 from collections.abc import Mapping
 from typing import Any, Hashable, Iterable, Sequence, Union
 
@@ -39,6 +40,11 @@ from repro.congest.message import Message
 from repro.congest.router import route_rounds
 from repro.errors import NetworkError
 from repro.util.rng import RngLike, ensure_rng
+
+
+#: Sentinel for SchemeView's not-yet-inspected vectorized-positions cache
+#: (``None`` is a valid resolution: "no compatible vectorized form").
+_UNRESOLVED = object()
 
 
 class Node:
@@ -113,7 +119,7 @@ class SchemeView(Mapping):
     """
 
     __slots__ = ("name", "num_nodes", "_labels", "_seeds", "_nodes",
-                 "_positions", "_physical")
+                 "_positions", "_physical", "_row_positions")
 
     def __init__(
         self, name: str, labels: Sequence[Hashable], seeds: np.ndarray,
@@ -126,6 +132,7 @@ class SchemeView(Mapping):
         self._nodes: dict[int, Node] = {}
         self._positions: dict[Hashable, int] | None = None
         self._physical: np.ndarray | None = None
+        self._row_positions = _UNRESOLVED
 
     # -- Mapping protocol --------------------------------------------------
 
@@ -165,6 +172,58 @@ class SchemeView(Mapping):
                 label: position for position, label in enumerate(self._labels)
             }
         return self._positions
+
+    def positions_of_array(self, labels) -> np.ndarray:
+        """Vectorized :meth:`position_of` over a ``(k, d)`` array of label
+        component rows.
+
+        Arithmetic label constructors (``GridLabels`` and friends) answer in
+        pure index arithmetic; plain sequences fall back to the lazily built
+        position dict row by row.  Raises :class:`KeyError` when any row is
+        not a label of this scheme — the scalar contract, vectorized.
+        """
+        rows = np.asarray(labels)
+        if rows.ndim != 2:
+            raise KeyError(labels)
+        vectorized = self._vectorized_positions()
+        if vectorized is not None:
+            return np.asarray(vectorized(rows), dtype=np.int64)
+        positions = self.positions()
+        return np.fromiter(
+            (positions[tuple(row)] for row in rows.tolist()),
+            dtype=np.int64,
+            count=int(rows.shape[0]),
+        )
+
+    def _vectorized_positions(self):
+        """The label constructor's one-argument vectorized ``positions_of``,
+        or ``None``.  Resolved by signature inspection once and cached —
+        constructors with a different vectorized shape (e.g.
+        ``ProductLabels.positions_of(prefix_positions, suffixes)``) fall to
+        the dict path without swallowing genuine ``TypeError`` bugs."""
+        if self._row_positions is _UNRESOLVED:
+            resolved = getattr(self._labels, "positions_of", None)
+            if resolved is not None:
+                try:
+                    parameters = [
+                        parameter
+                        for parameter in inspect.signature(
+                            resolved
+                        ).parameters.values()
+                        if parameter.default is parameter.empty
+                        and parameter.kind
+                        in (
+                            inspect.Parameter.POSITIONAL_ONLY,
+                            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                        )
+                    ]
+                except (TypeError, ValueError):
+                    resolved = None
+                else:
+                    if len(parameters) != 1:
+                        resolved = None
+            self._row_positions = resolved
+        return self._row_positions
 
     def physical_of(self, label: Hashable) -> int:
         """Physical host of one label (no Node materialization)."""

@@ -105,6 +105,30 @@ class GridLabels(Sequence):
             position += int(component) * stride
         return position
 
+    def positions_of(self, labels) -> np.ndarray:
+        """Vectorized :meth:`position_of`: a ``(k, ndim)`` integer array of
+        label component rows maps to a ``(k,)`` position array with one dot
+        product against the row-major strides.  Raises :class:`KeyError` on
+        non-integer components or out-of-range rows (same contract as the
+        scalar form)."""
+        try:
+            rows = np.asarray(labels)
+        except Exception:
+            raise KeyError(labels) from None
+        if rows.ndim != 2 or rows.shape[1] != len(self.shape):
+            raise KeyError(labels)
+        if rows.dtype.kind not in "iu":
+            # The scalar form rejects non-integer components; a silent
+            # float truncation would map a foreign label to a position.
+            raise KeyError(labels)
+        rows = rows.astype(np.int64)
+        if rows.size:
+            shape = np.asarray(self.shape, dtype=np.int64)
+            bad = (rows < 0) | (rows >= shape[None, :])
+            if bad.any():
+                raise KeyError(tuple(rows[np.nonzero(bad.any(axis=1))[0][0]]))
+        return rows @ np.asarray(self._strides, dtype=np.int64)
+
     def __contains__(self, label: object) -> bool:
         try:
             self.position_of(label)
@@ -124,15 +148,27 @@ class ProductLabels(Sequence):
     (Section 5.3.2), where ``prefixes`` are the class-``α`` triples and
     ``count`` the duplication factor.  Duplicate-free whenever the prefixes
     are distinct, which the callers guarantee by construction (they pass
-    dict keys).
+    dict keys or rows of a class mask).
+
+    ``prefixes`` may be a ``(k, d)`` integer array, in which case no
+    per-label (or per-prefix) Python tuple exists until a label is actually
+    touched — the registration-time representation of the duplication
+    schemes built by ``repro.core.quantum_step3``.
     """
 
-    __slots__ = ("_prefixes", "_count", "_prefix_positions")
+    __slots__ = ("_prefixes", "_prefix_rows", "_count", "_prefix_positions")
 
     duplicate_free = True
 
-    def __init__(self, prefixes: Iterable[tuple], count: int) -> None:
-        self._prefixes = list(prefixes)
+    def __init__(self, prefixes: Iterable[tuple] | np.ndarray, count: int) -> None:
+        if isinstance(prefixes, np.ndarray):
+            if prefixes.ndim != 2:
+                raise NetworkError("array prefixes must be a (k, d) component grid")
+            self._prefix_rows: np.ndarray | None = prefixes.astype(np.int64)
+            self._prefixes: list[tuple] | None = None
+        else:
+            self._prefix_rows = None
+            self._prefixes = list(prefixes)
         self._count = int(count)
         if self._count < 1:
             raise NetworkError(f"label product needs count >= 1, got {count}")
@@ -142,8 +178,19 @@ class ProductLabels(Sequence):
     def count(self) -> int:
         return self._count
 
+    @property
+    def num_prefixes(self) -> int:
+        if self._prefix_rows is not None:
+            return int(self._prefix_rows.shape[0])
+        return len(self._prefixes)
+
+    def _prefix(self, index: int) -> tuple:
+        if self._prefix_rows is not None:
+            return tuple(int(c) for c in self._prefix_rows[index])
+        return self._prefixes[index]
+
     def __len__(self) -> int:
-        return len(self._prefixes) * self._count
+        return self.num_prefixes * self._count
 
     def __getitem__(self, position: int) -> tuple:
         position = int(position)
@@ -152,10 +199,11 @@ class ProductLabels(Sequence):
         if not 0 <= position < len(self):
             raise IndexError(position)
         prefix, suffix = divmod(position, self._count)
-        return self._prefixes[prefix] + (suffix,)
+        return self._prefix(prefix) + (suffix,)
 
     def __iter__(self) -> Iterator[tuple]:
-        for prefix in self._prefixes:
+        for index in range(self.num_prefixes):
+            prefix = self._prefix(index)
             for suffix in range(self._count):
                 yield prefix + (suffix,)
 
@@ -167,13 +215,29 @@ class ProductLabels(Sequence):
             raise KeyError(label)
         if self._prefix_positions is None:
             self._prefix_positions = {
-                prefix: index for index, prefix in enumerate(self._prefixes)
+                self._prefix(index): index for index in range(self.num_prefixes)
             }
         try:
             prefix_position = self._prefix_positions[label[:-1]]
         except (KeyError, TypeError):
             raise KeyError(label) from None
         return prefix_position * self._count + int(suffix)
+
+    def positions_of(self, prefix_positions, suffixes) -> np.ndarray:
+        """Vectorized position lookup from *prefix indices* (not tuples) and
+        suffixes: ``prefix_positions * count + suffixes``, with the same
+        :class:`KeyError` contract as :meth:`position_of` on out-of-range
+        components."""
+        prefix_arr = np.asarray(prefix_positions, dtype=np.int64)
+        suffix_arr = np.asarray(suffixes, dtype=np.int64)
+        if prefix_arr.shape != suffix_arr.shape:
+            raise KeyError((prefix_positions, suffixes))
+        if prefix_arr.size:
+            if int(prefix_arr.min()) < 0 or int(prefix_arr.max()) >= self.num_prefixes:
+                raise KeyError("prefix position out of range")
+            if int(suffix_arr.min()) < 0 or int(suffix_arr.max()) >= self._count:
+                raise KeyError("suffix out of range")
+        return prefix_arr * self._count + suffix_arr
 
     def __contains__(self, label: object) -> bool:
         try:
@@ -183,7 +247,7 @@ class ProductLabels(Sequence):
         return True
 
     def __repr__(self) -> str:
-        return f"ProductLabels({len(self._prefixes)} prefixes × {self._count})"
+        return f"ProductLabels({self.num_prefixes} prefixes × {self._count})"
 
 
 class DistinctLabels(Sequence):

@@ -18,19 +18,30 @@ one-Node-per-label scheme registration that
 :meth:`~repro.congest.network.CongestClique.register_scheme` replaced with
 lazy array-backed views.
 
+The Step-3 accounting forms live here too: the dict-of-dicts query plans
+(:func:`step3_query_plan_dicts`), the dict-walking load/round computations
+(:func:`query_loads_dicts`, :func:`evaluation_rounds_dicts`,
+:func:`step0_duplication_loads_dicts`) and the per-label class driver
+(:func:`run_step3_loops`) that ``repro.core.evaluation`` /
+``repro.core.quantum_step3`` replaced with the columnar
+:class:`~repro.core.evaluation.QueryPlan` and bulk lane registration —
+``tests/test_step3_equivalence.py`` asserts rounds, per-node loads, RNG
+streams, and found pairs identical byte for byte.
+
 Nothing here is called on a hot path — the point of these functions is to
 be obviously correct, not fast.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+from typing import Hashable, Mapping, Sequence
 
 import numpy as np
 
 from repro.congest.batch import MessageBatch
 from repro.congest.network import CongestClique, Node
-from repro.congest.partitions import BlockPartition, CliquePartitions
+from repro.congest.partitions import BlockPartition, CliquePartitions, ProductLabels
+from repro.congest.router import route_rounds
 from repro.errors import NetworkError, ProtocolAbortedError
 
 
@@ -287,3 +298,256 @@ def step2_sample_loops(
         else int(np.count_nonzero(covered_mask & eligible_mask)) / num_eligible
     )
     return node_pairs, coverage
+
+
+# ---------------------------------------------------------------------------
+# Step-3 evaluation accounting, dict-walking forms (pre-PR-5)
+# ---------------------------------------------------------------------------
+
+#: Words per queried pair / per answer (mirrors repro.core.evaluation).
+_PAIR_QUERY_WORDS = 3
+
+
+def query_loads_dicts(
+    num_nodes: int,
+    node_physical: Mapping[object, int],
+    query_plan: Mapping[object, Mapping[object, int]],
+    dest_physical: Mapping[object, int],
+    beta_pairs: float,
+) -> tuple[list[int], list[int]]:
+    """Source/destination word loads of one forward evaluation delivery,
+    one ``query_plan[src_label][dst_label] = num_pairs`` dict entry at a
+    time — the form :func:`repro.core.evaluation.query_loads` replaced with
+    ``np.bincount`` over the columnar :class:`~repro.core.evaluation.QueryPlan`.
+    """
+    src_load = [0] * num_nodes
+    dst_load = [0] * num_nodes
+    for src_label, destinations in query_plan.items():
+        src_phys = node_physical[src_label]
+        for dst_label, num_pairs in destinations.items():
+            capped = min(int(num_pairs), int(np.ceil(beta_pairs)))
+            if capped <= 0:
+                continue
+            words = _PAIR_QUERY_WORDS * capped
+            src_load[src_phys] += words
+            dst_load[dest_physical[dst_label]] += words
+    return src_load, dst_load
+
+
+def evaluation_rounds_dicts(
+    num_nodes: int,
+    node_physical: Mapping[object, int],
+    query_plan: Mapping[object, Mapping[object, int]],
+    dest_physical: Mapping[object, int],
+    beta_pairs: float,
+) -> float:
+    """Round cost of one evaluation application from the dict-of-dicts plan
+    (forward queries plus answers along the reversed pattern)."""
+    src_load, dst_load = query_loads_dicts(
+        num_nodes, node_physical, query_plan, dest_physical, beta_pairs
+    )
+    one_way = route_rounds(num_nodes, src_load, dst_load)
+    return 2.0 * one_way
+
+
+def step0_duplication_loads_dicts(
+    num_nodes: int,
+    source_physical: Mapping[object, int],
+    duplicate_physical: Mapping[object, Sequence[int]],
+    words_per_source: Mapping[object, int],
+) -> float:
+    """Fig. 5 Step 0 charge, walking one ``label → [duplicate hosts]`` dict
+    entry at a time (duplicates hosted on the source's own physical node are
+    free)."""
+    src_load = [0] * num_nodes
+    dst_load = [0] * num_nodes
+    for label, duplicates in duplicate_physical.items():
+        words = int(words_per_source[label])
+        for phys in duplicates:
+            if phys == source_physical[label]:
+                continue
+            src_load[source_physical[label]] += words
+            dst_load[phys] += words
+    return route_rounds(num_nodes, src_load, dst_load)
+
+
+def step3_domains_dicts(assignment, node_pairs, alpha: int) -> dict:
+    """Per-search-node domains of class ``alpha``, one dict lookup per
+    label — the form the CSR of
+    :meth:`~repro.core.identify_class.ClassAssignment.domain_csr` replaced."""
+    domains: dict[tuple[int, int, int], list[int]] = {}
+    for label in node_pairs:
+        bu, bv, _x = label
+        blocks = assignment.blocks_of_class(bu, bv, alpha)
+        if blocks:
+            domains[label] = blocks
+    return domains
+
+
+def step3_query_plan_dicts(domains, node_pairs, beta: float, dup: int) -> dict:
+    """The class query plan as a dict of dicts, one Python entry per
+    (search label × block × duplicate) — what ``_run_class`` built before
+    the columnar :class:`~repro.core.evaluation.QueryPlan`."""
+    query_plan: dict[object, dict[object, int]] = {}
+    for label, blocks in domains.items():
+        bu, bv, _x = label
+        num_pairs = len(node_pairs[label][0])
+        if num_pairs == 0:
+            continue
+        per_dest = min(num_pairs, int(np.ceil(beta)))
+        plan: dict[object, int] = {}
+        for bw in blocks:
+            if dup > 1:
+                share = max(1, -(-per_dest // dup))
+                for y in range(dup):
+                    plan[(bu, bv, bw, y)] = share
+            else:
+                plan[(bu, bv, bw)] = per_dest
+        query_plan[label] = plan
+    return query_plan
+
+
+def run_step3_loops(
+    network: CongestClique,
+    partitions: CliquePartitions,
+    constants,
+    assignment,
+    node_pairs,
+    *,
+    rng=None,
+    search_mode: str = "quantum",
+    amplification: float = 12.0,
+):
+    """Step 3 with per-label dict accounting and per-label lane adds — the
+    pre-PR-5 ``run_step3``, preserved as the executable specification that
+    ``tests/test_step3_equivalence.py`` compares the array-backed driver
+    against (rounds, loads, RNG streams, found pairs, all byte-identical).
+    """
+    from repro.core.quantum_step3 import Step3Report
+    from repro.util.rng import ensure_rng
+
+    if search_mode not in ("quantum", "classical"):
+        raise ValueError(f"unknown search_mode {search_mode!r}")
+    generator = ensure_rng(rng)
+    report = Step3Report()
+    all_alphas = sorted({alpha for alpha in assignment.classes.values()})
+    for alpha in all_alphas:
+        _run_class_loops(
+            network,
+            partitions,
+            constants,
+            assignment,
+            node_pairs,
+            alpha,
+            report,
+            generator,
+            search_mode,
+            amplification,
+        )
+    return report
+
+
+def _run_class_loops(
+    network, partitions, constants, assignment, node_pairs, alpha, report,
+    generator, search_mode, amplification,
+) -> None:
+    from repro.core.evaluation import duplication_count
+    from repro.quantum.amplitude import max_iterations
+    from repro.quantum.batched import BatchedMultiSearch
+    from repro.util.mathutil import guarded_log
+    from repro.util.rng import spawn_rng
+
+    n = partitions.num_vertices
+    beta = constants.eval_beta(n, alpha)
+    dup = duplication_count(constants, n, alpha)
+    report.duplication_per_alpha[alpha] = dup
+
+    domains = step3_domains_dicts(assignment, node_pairs, alpha)
+    if not domains:
+        report.eval_rounds_per_alpha[alpha] = 0.0
+        report.search_rounds_per_alpha[alpha] = 0.0
+        return
+
+    triple_physical = network.scheme("triple").physical_lookup()
+    if dup > 1:
+        alpha_triples = [
+            label for label, cls in assignment.classes.items() if cls == alpha
+        ]
+        dup_labels = ProductLabels(alpha_triples, dup)
+        scheme_name = f"step3_dup_alpha{alpha}"
+        dest_physical = network.register_scheme(scheme_name, dup_labels).physical_lookup()
+        size_u = partitions.coarse.max_block_size
+        size_w = partitions.fine.max_block_size
+        words = size_u * size_w * 2  # F_uw plus F_wv
+        duplicate_physical = {
+            triple: [dest_physical[triple + (y,)] for y in range(dup)]
+            for triple in alpha_triples
+        }
+        step0 = step0_duplication_loads_dicts(
+            network.num_nodes,
+            triple_physical,
+            duplicate_physical,
+            {label: words for label in duplicate_physical},
+        )
+        network.charge_local(f"step3.alpha{alpha}.duplication", step0)
+    else:
+        dest_physical = triple_physical
+
+    node_physical = network.scheme("search").physical_lookup()
+    query_plan = step3_query_plan_dicts(domains, node_pairs, beta, dup)
+    eval_r = evaluation_rounds_dicts(
+        network.num_nodes, node_physical, query_plan, dest_physical, beta
+    )
+    eval_r = max(eval_r, 1.0)
+    report.eval_rounds_per_alpha[alpha] = eval_r
+
+    if search_mode == "classical":
+        max_domain = max(len(blocks) for blocks in domains.values())
+        rounds = eval_r * max_domain
+        for label, blocks in domains.items():
+            pairs, _weights, witness_table = node_pairs[label]
+            if len(pairs) == 0:
+                continue
+            columns = np.array(blocks, dtype=np.int64)
+            hit = witness_table[:, columns].any(axis=1)
+            report.total_searches += len(pairs)
+            for index in np.nonzero(hit)[0].tolist():
+                u, v = pairs[index]
+                report.found_pairs.add((int(u), int(v)))
+        network.charge_local(f"step3.alpha{alpha}.search", rounds)
+        report.search_rounds_per_alpha[alpha] = rounds
+        return
+
+    max_domain = max(len(blocks) for blocks in domains.values())
+    max_m = max(len(node_pairs[label][0]) for label in domains)
+    cap = max_iterations(max_domain + 1)
+    repetitions = max(
+        1, int(np.ceil(amplification * guarded_log(max(max_m, 2))))
+    )
+    schedule = generator.integers(0, cap + 1, size=repetitions).tolist()
+
+    batched = BatchedMultiSearch(
+        beta=beta, eval_rounds=eval_r, amplification=amplification
+    )
+    lane_pairs: dict[tuple[int, int, int], np.ndarray] = {}
+    for label, blocks in domains.items():
+        pairs, _weights, witness_table = node_pairs[label]
+        if len(pairs) == 0:
+            continue
+        columns = np.array(blocks, dtype=np.int64)
+        sub_table = witness_table[:, columns]
+        batched.add(label, len(blocks), sub_table, rng=spawn_rng(generator))
+        lane_pairs[label] = pairs
+
+    phase_rounds = 0.0
+    for label, result in batched.run(schedule).items():
+        pairs = lane_pairs[label]
+        report.total_searches += int(result.found.size)
+        report.typicality_truncations += result.typicality.truncated_entries
+        report.corrupted_repetitions += result.corrupted_repetitions
+        phase_rounds = max(phase_rounds, result.rounds)
+        for index in np.nonzero(result.found_mask())[0].tolist():
+            u, v = pairs[index]
+            report.found_pairs.add((int(u), int(v)))
+    network.charge_local(f"step3.alpha{alpha}.search", phase_rounds)
+    report.search_rounds_per_alpha[alpha] = phase_rounds

@@ -27,6 +27,7 @@ Two pieces live here:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -78,41 +79,80 @@ def duplication_count(constants: PaperConstants, n: int, alpha: int) -> int:
     return max(1, int(round((2.0 ** alpha) / denom)))
 
 
-def _query_loads(
-    num_nodes: int,
-    node_physical: Mapping[object, int],
-    query_plan: Mapping[object, Mapping[object, int]],
-    dest_physical: Mapping[object, int],
-    beta_pairs: float,
-) -> tuple[list[int], list[int]]:
+@dataclass(frozen=True)
+class QueryPlan:
+    """Columnar form of one class's evaluation query plan.
+
+    One row per (search node, destination) entry — the unit the historical
+    dict-of-dicts plan (`query_plan[src_label][dst_label] = pairs`, preserved
+    in :func:`repro.core._reference.step3_query_plan_dicts`) stored as a
+    Python dict entry.  ``src_phys``/``dst_phys`` are the entry's *physical*
+    hosts (label positions already reduced mod ``n``), ``pair_counts`` the
+    number of queried pairs, all ``int64`` columns; loads reduce with one
+    ``np.bincount`` per direction and the β-cap is one ``np.minimum``.
+    """
+
+    src_phys: np.ndarray
+    dst_phys: np.ndarray
+    pair_counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in ("src_phys", "dst_phys", "pair_counts"):
+            column = np.asarray(getattr(self, name), dtype=np.int64)
+            object.__setattr__(self, name, column)
+        if not (self.src_phys.shape == self.dst_phys.shape == self.pair_counts.shape):
+            raise ValueError("QueryPlan columns must align")
+        if self.src_phys.ndim != 1:
+            raise ValueError("QueryPlan columns must be 1-D")
+
+    def __len__(self) -> int:
+        return int(self.src_phys.size)
+
+    @classmethod
+    def from_mappings(
+        cls,
+        node_physical: Mapping[object, int],
+        query_plan: Mapping[object, Mapping[object, int]],
+        dest_physical: Mapping[object, int],
+    ) -> "QueryPlan":
+        """Columnarize a dict-of-dicts plan (the reference/interop path —
+        tests and the preserved loop forms speak this shape)."""
+        src: list[int] = []
+        dst: list[int] = []
+        counts: list[int] = []
+        for src_label, destinations in query_plan.items():
+            src_phys = int(node_physical[src_label])
+            for dst_label, num_pairs in destinations.items():
+                src.append(src_phys)
+                dst.append(int(dest_physical[dst_label]))
+                counts.append(int(num_pairs))
+        return cls(
+            np.asarray(src, dtype=np.int64),
+            np.asarray(dst, dtype=np.int64),
+            np.asarray(counts, dtype=np.int64),
+        )
+
+
+def query_loads(
+    num_nodes: int, plan: QueryPlan, beta_pairs: float
+) -> tuple[np.ndarray, np.ndarray]:
     """Source/destination word loads of one forward evaluation delivery.
 
-    ``query_plan[src_label][dst_label] = number of pairs`` that the search
-    node ``src_label`` queries at the (possibly duplicated) triple node
-    ``dst_label``; per-destination pair counts are capped at ``β`` by the
-    typicality truncation before conversion to words.
+    Per-destination pair counts are capped at ``β`` by the typicality
+    truncation (`np.minimum`) before conversion to words; the per-physical-
+    node histograms are one ``np.bincount`` per direction — byte-identical
+    to the dict walk preserved in
+    :func:`repro.core._reference.query_loads_dicts`.
     """
-    src_load = [0] * num_nodes
-    dst_load = [0] * num_nodes
-    for src_label, destinations in query_plan.items():
-        src_phys = node_physical[src_label]
-        for dst_label, num_pairs in destinations.items():
-            capped = min(int(num_pairs), int(np.ceil(beta_pairs)))
-            if capped <= 0:
-                continue
-            words = PAIR_QUERY_WORDS * capped
-            src_load[src_phys] += words
-            dst_load[dest_physical[dst_label]] += words
-    return src_load, dst_load
+    capped = np.minimum(plan.pair_counts, int(np.ceil(beta_pairs)))
+    np.maximum(capped, 0, out=capped)
+    words = (PAIR_QUERY_WORDS * capped).astype(np.float64)
+    src_load = np.bincount(plan.src_phys, weights=words, minlength=num_nodes)
+    dst_load = np.bincount(plan.dst_phys, weights=words, minlength=num_nodes)
+    return src_load.astype(np.int64), dst_load.astype(np.int64)
 
 
-def evaluation_rounds(
-    num_nodes: int,
-    node_physical: Mapping[object, int],
-    query_plan: Mapping[object, Mapping[object, int]],
-    dest_physical: Mapping[object, int],
-    beta_pairs: float,
-) -> float:
+def evaluation_rounds(num_nodes: int, plan: QueryPlan, beta_pairs: float) -> float:
     """Round cost of one application of the evaluation procedure.
 
     Forward (queries) plus backward (answers); the backward direction moves
@@ -120,29 +160,31 @@ def evaluation_rounds(
     pattern, which Lemma 1 charges at most as much as the forward direction,
     so the paper's "same complexity" is charged as a second forward cost.
     """
-    src_load, dst_load = _query_loads(
-        num_nodes, node_physical, query_plan, dest_physical, beta_pairs
-    )
+    src_load, dst_load = query_loads(num_nodes, plan, beta_pairs)
     one_way = route_rounds(num_nodes, src_load, dst_load)
     return 2.0 * one_way
 
 
 def step0_duplication_loads(
     num_nodes: int,
-    source_physical: Mapping[object, int],
-    duplicate_physical: Mapping[object, Sequence[int]],
-    words_per_source: Mapping[object, int],
+    src_phys: np.ndarray,
+    dst_phys: np.ndarray,
+    size_words: np.ndarray,
 ) -> float:
     """Round cost of Fig. 5's Step 0: every class-``α`` triple node
     broadcasts its Step-1 data to its duplicate labels (once per class, not
-    per oracle call — the duplicated data is classical and static)."""
-    src_load = [0] * num_nodes
-    dst_load = [0] * num_nodes
-    for label, duplicates in duplicate_physical.items():
-        words = int(words_per_source[label])
-        for phys in duplicates:
-            if phys == source_physical[label]:
-                continue  # duplicate hosted on the same physical node: free
-            src_load[source_physical[label]] += words
-            dst_load[phys] += words
-    return route_rounds(num_nodes, src_load, dst_load)
+    per oracle call — the duplicated data is classical and static).
+
+    One row per (source triple, duplicate) entry: ``src_phys[i]`` ships
+    ``size_words[i]`` words to ``dst_phys[i]``; rows whose duplicate is
+    hosted on the source's own physical node are free (one mask), and the
+    loads are two ``np.bincount`` histograms — the dict walk survives as
+    :func:`repro.core._reference.step0_duplication_loads_dicts`.
+    """
+    src_phys = np.asarray(src_phys, dtype=np.int64)
+    dst_phys = np.asarray(dst_phys, dtype=np.int64)
+    words = np.asarray(size_words, dtype=np.float64)
+    moved = src_phys != dst_phys
+    src_load = np.bincount(src_phys[moved], weights=words[moved], minlength=num_nodes)
+    dst_load = np.bincount(dst_phys[moved], weights=words[moved], minlength=num_nodes)
+    return route_rounds(num_nodes, src_load.astype(np.int64), dst_load.astype(np.int64))

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.congest.gridops import expand_ranges
 from repro.congest.network import CongestClique
 from repro.congest.partitions import CliquePartitions, DistinctLabels
 from repro.core.constants import PaperConstants
@@ -55,6 +56,46 @@ class ClassAssignment:
     def present_classes(self, bu: int, bv: int) -> list[int]:
         """Class indices that are non-empty for this block pair."""
         return sorted(self.t_alpha.get((bu, bv), {}).keys())
+
+    def domain_csr(
+        self, bu: np.ndarray, bv: np.ndarray, alpha: int, num_coarse: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The class-``alpha`` search domains in CSR form, built in one pass.
+
+        ``bu``/``bv`` are the coarse components of the search labels (in
+        label order); the domain of label ``l`` is ``Tα[bu[l], bv[l]]``, and
+        the return value ``(counts, offsets, flat)`` lays those domains out
+        back to back: label ``l``'s fine-block ids are
+        ``flat[offsets[l] : offsets[l + 1]]`` (``counts[l]`` of them, zero
+        when the class is empty for that block pair).  Because the domain
+        depends only on ``(bu, bv)``, the per-block-pair lists of
+        ``t_alpha`` are concatenated once and every label gathers its slice
+        arithmetically — no per-label dict lookup (the lookup form survives
+        as :func:`repro.core._reference.step3_domains_dicts`).
+        """
+        bu = np.asarray(bu, dtype=np.int64)
+        bv = np.asarray(bv, dtype=np.int64)
+        grid_counts = np.zeros(num_coarse * num_coarse, dtype=np.int64)
+        per_pair: dict[int, np.ndarray] = {}
+        for (cu, cv), per_alpha in self.t_alpha.items():
+            blocks = per_alpha.get(alpha)
+            if blocks:
+                pair_id = int(cu) * num_coarse + int(cv)
+                per_pair[pair_id] = np.asarray(blocks, dtype=np.int64)
+                grid_counts[pair_id] = len(blocks)
+        grid_offsets = np.zeros(grid_counts.size + 1, dtype=np.int64)
+        np.cumsum(grid_counts, out=grid_offsets[1:])
+        grid_flat = (
+            np.concatenate([per_pair[pair_id] for pair_id in sorted(per_pair)])
+            if per_pair
+            else np.empty(0, dtype=np.int64)
+        )
+        pair_ids = bu * num_coarse + bv
+        counts = grid_counts[pair_ids]
+        offsets = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        flat = grid_flat[expand_ranges(grid_offsets[pair_ids], counts)]
+        return counts, offsets, flat
 
 
 def run_identify_class(

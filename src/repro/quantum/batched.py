@@ -23,6 +23,16 @@ schedule (property-tested in ``tests/test_quantum_batched.py``):
   front — which is where the speedup comes from: the sequential version
   recomputed all of it per node per repetition.
 
+Lanes are registered either one at a time (:meth:`BatchedMultiSearch.add`,
+which delegates the CSR layout and the Theorem 3 typicality truncation to
+:class:`MultiSearch`) or in bulk (:meth:`BatchedMultiSearch.add_lanes`): a
+padded 3-D witness-table stack whose per-lane windows become CSR slices of
+one ``np.nonzero`` pass, with no per-lane :class:`MultiSearch` (and hence no
+per-search Python array list) constructed at all.  Lane state is held
+directly on the :class:`_Lane` — effective CSR columns, typicality report,
+and a lazily materialized generator — and both registration paths produce
+bit-identical runs.
+
 What remains in the lockstep loop is the irreducible randomness: one
 corruption draw, one batch of measurement draws over the lane's pending
 searches, and the occasional measurement-slot draw.  Lanes drop out of the
@@ -42,33 +52,70 @@ from repro.quantum.amplitude import max_iterations
 from repro.quantum.multisearch import (
     MultiSearch,
     MultiSearchReport,
+    TypicalityReport,
+    solutions_are_typical,
     uniform_atypical_mass,
+    untruncated_typicality,
 )
 from repro.util.rng import RngLike
 
 
 class _Lane:
-    """One search node's state inside the lockstep loop."""
+    """One search node's state inside the lockstep loop.
+
+    Holds the effective (typicality-truncated) CSR directly — solutions of
+    search ``ℓ`` are ``eff_flat[eff_offsets[ℓ] : eff_offsets[ℓ + 1]]`` — so
+    bulk registration never constructs a :class:`MultiSearch`.  The
+    generator may be stored as a bare seed and materializes on first use
+    (frozen lanes never touch theirs).
+    """
 
     __slots__ = (
-        "key", "search", "pending", "found", "theta", "counts", "padded",
+        "key", "num_items", "num_searches", "eval_rounds", "beta",
+        "eff_offsets", "eff_flat", "typicality", "_rng",
+        "pending", "found", "theta", "counts", "padded",
         "iters", "delta", "rounds_cum", "oracle_cum", "live", "can_freeze",
         "last_rep", "corrupted", "fidelity_max",
     )
 
-    def __init__(self, key: Hashable, search: MultiSearch) -> None:
+    def __init__(
+        self,
+        key: Hashable,
+        num_items: int,
+        num_searches: int,
+        eval_rounds: float,
+        beta: Optional[float],
+        eff_counts: np.ndarray,
+        eff_offsets: np.ndarray,
+        eff_flat: np.ndarray,
+        typicality: TypicalityReport,
+        rng,
+    ) -> None:
         self.key = key
-        self.search = search
-        self.pending = np.arange(search.num_searches, dtype=np.int64)
-        self.found = np.full(search.num_searches, -1, dtype=np.int64)
-        self.counts = search._eff_counts
-        self.padded = search._eff_counts + 1
-        self.live = int(np.count_nonzero(self.counts))
+        self.num_items = int(num_items)
+        self.num_searches = int(num_searches)
+        self.eval_rounds = eval_rounds
+        self.beta = beta
+        self.counts = eff_counts
+        self.eff_offsets = eff_offsets
+        self.eff_flat = eff_flat
+        self.typicality = typicality
+        self._rng = rng
+        self.pending = np.arange(self.num_searches, dtype=np.int64)
+        self.found = np.full(self.num_searches, -1, dtype=np.int64)
+        self.padded = eff_counts + 1
+        self.live = int(np.count_nonzero(eff_counts))
         self.last_rep = -1
         self.corrupted = 0
         self.fidelity_max = 0.0
 
-    def prepare(self, schedule: Sequence[int]) -> None:
+    @property
+    def rng(self) -> np.random.Generator:
+        if not isinstance(self._rng, np.random.Generator):
+            self._rng = np.random.default_rng(self._rng)
+        return self._rng
+
+    def prepare(self, schedule: np.ndarray) -> None:
         """Precompute everything the shared schedule determines.
 
         The sequential run recomputes these values inside its repetition
@@ -79,31 +126,28 @@ class _Lane:
         per-search Grover angles ``θ`` (the repetition loop then only pays
         one ``sin`` over the pending subset).
         """
-        search = self.search
-        padded_items = search.num_items + 1
+        padded_items = self.num_items + 1
         cap = max_iterations(padded_items)
-        self.iters = [min(int(entry), cap) for entry in schedule]
+        self.iters = np.minimum(schedule, cap)
 
         # Same per-term products as the sequential loop; cumsum accumulates
         # left to right exactly like `total_rounds +=` did.
-        terms = (np.asarray(self.iters, dtype=np.int64) + 1)
-        self.rounds_cum = np.cumsum(terms * search.eval_rounds)
+        terms = self.iters + 1
+        self.rounds_cum = np.cumsum(terms * self.eval_rounds)
         self.oracle_cum = np.cumsum(terms)
 
-        if search.beta is not None:
+        if self.beta is not None:
             mass = uniform_atypical_mass(
-                padded_items, search.num_searches, search.beta
+                padded_items, self.num_searches, self.beta
             )
             root = math.sqrt(mass)
-            self.delta = [
-                min(1.0, 2.0 * iterations * root) for iterations in self.iters
-            ]
+            self.delta = np.minimum(1.0, 2.0 * self.iters * root)
             # With every deviation bound at zero, repetitions can never be
             # corrupted — together with an empty live set this makes the
             # lane's remaining evolution fully deterministic.
-            self.can_freeze = not any(self.delta)
+            self.can_freeze = not self.delta.any()
         else:
-            self.delta = []
+            self.delta = np.empty(0)
             self.can_freeze = True
 
         # θ per (padded) search: probs for repetition k over any pending
@@ -114,14 +158,13 @@ class _Lane:
         )
 
     def report(self) -> MultiSearchReport:
-        search = self.search
         executed = self.last_rep + 1
         return MultiSearchReport(
             found=self.found,
             rounds=float(self.rounds_cum[self.last_rep]) if executed else 0.0,
             repetitions=executed,
             oracle_calls=int(self.oracle_cum[self.last_rep]) if executed else 0,
-            typicality=search.typicality,
+            typicality=self.typicality,
             corrupted_repetitions=self.corrupted,
             fidelity_bound_max=self.fidelity_max,
         )
@@ -132,8 +175,9 @@ class BatchedMultiSearch:
 
     Parameters mirror :class:`MultiSearch` (``beta``, ``eval_rounds``,
     ``amplification`` are shared by the whole class); lanes are added with
-    :meth:`add` in the same order the sequential implementation would have
-    constructed them, each with its own generator.
+    :meth:`add` (one label at a time) or :meth:`add_lanes` (a padded stack)
+    in the same order the sequential implementation would have constructed
+    them, each with its own generator (or seed).
     """
 
     def __init__(
@@ -178,7 +222,127 @@ class BatchedMultiSearch:
             amplification=self.amplification,
             rng=rng,
         )
-        self._lanes.append(_Lane(key, search))
+        self._lanes.append(
+            _Lane(
+                key,
+                search.num_items,
+                search.num_searches,
+                self.eval_rounds,
+                self.beta,
+                search._eff_counts,
+                search._eff_offsets,
+                search._eff_flat,
+                search.typicality,
+                search.rng,
+            )
+        )
+
+    def add_lanes(
+        self,
+        keys: Sequence[Hashable],
+        num_items: np.ndarray,
+        num_searches: np.ndarray,
+        tables: np.ndarray,
+        *,
+        seeds: np.ndarray,
+    ) -> None:
+        """Register many lanes at once from a padded witness-table stack.
+
+        ``tables`` is a boolean ``(len(keys), max_m, max_X)`` stack; lane
+        ``i`` reads the window ``tables[i, :num_searches[i], :num_items[i]]``
+        and everything outside a lane's window must be ``False``.
+        ``seeds[i]`` is the integer seed ``spawn_rng`` would have produced
+        for that lane, so drawing the whole seed column in one batched
+        parent call keeps the parent stream byte-identical to sequential
+        per-lane ``add(..., rng=spawn_rng(parent))`` calls; per-lane
+        generators materialize lazily on first use.
+
+        The stack's CSR (rows sorted by lane, then search, then item) comes
+        from a single ``np.nonzero`` pass, and each typical lane's effective
+        solution columns are plain slices of it — no per-lane
+        :class:`MultiSearch`, no per-search Python array list.  The rare
+        atypical lane (Lemma 3 failed: some item is a solution of more than
+        ``β/2`` of the lane's searches) falls back to the sequential
+        truncation machinery, keeping the deterministic ``C̃_m`` behaviour
+        bit-identical.  Property-tested equal to the :meth:`add` loop in
+        ``tests/test_quantum_batched.py``.
+        """
+        num_items = np.asarray(num_items, dtype=np.int64)
+        num_searches = np.asarray(num_searches, dtype=np.int64)
+        tables = np.asarray(tables, dtype=bool)
+        seeds = np.asarray(seeds)
+        num_lanes = len(keys)
+        if (
+            tables.ndim != 3
+            or tables.shape[0] != num_lanes
+            or num_items.shape != (num_lanes,)
+            or num_searches.shape != (num_lanes,)
+            or seeds.shape != (num_lanes,)
+        ):
+            raise QuantumSimulationError("misaligned bulk-lane arrays")
+        if num_lanes == 0:
+            return
+        if int(num_items.min()) < 1:
+            raise QuantumSimulationError("num_items must be positive")
+        if int(num_searches.min()) < 1:
+            raise QuantumSimulationError("need at least one search per lane")
+        if int(num_searches.max()) > tables.shape[1] or int(num_items.max()) > tables.shape[2]:
+            raise QuantumSimulationError("lane window exceeds the padded stack")
+
+        # One pass over the stack: per-(lane, search) solution counts, per-
+        # (lane, item) loads, and the concatenated CSR value column.
+        row_counts = tables.sum(axis=2, dtype=np.int64)   # (lanes, max_m)
+        item_loads = tables.sum(axis=1, dtype=np.int64)   # (lanes, max_X)
+        search_pad = np.arange(tables.shape[1])[None, :] >= num_searches[:, None]
+        item_pad = np.arange(tables.shape[2])[None, :] >= num_items[:, None]
+        if (row_counts * search_pad).any() or (item_loads * item_pad).any():
+            raise QuantumSimulationError("padding outside a lane window must be False")
+        # flatnonzero + modulo instead of 3-D nonzero: only the item column
+        # is needed, and one nnz-sized output (instead of three) keeps the
+        # per-chunk allocations arena-cached.
+        flat_items = np.flatnonzero(tables) % tables.shape[2]
+        lane_starts = np.zeros(num_lanes + 1, dtype=np.int64)
+        np.cumsum(row_counts.sum(axis=1), out=lane_starts[1:])
+        max_loads = item_loads.max(axis=1)
+
+        for index, key in enumerate(keys):
+            if key in self._keys:
+                raise QuantumSimulationError(f"duplicate search-node key {key!r}")
+            self._keys.add(key)
+            m = int(num_searches[index])
+            items = int(num_items[index])
+            max_load = int(max_loads[index])
+            if self.beta is not None and not solutions_are_typical(self.beta, max_load):
+                # Atypical solutions: delegate the deterministic truncation
+                # to the sequential machinery (rare — Lemma 3 failing).
+                search = MultiSearch(
+                    items,
+                    marked_table=tables[index, :m, :items],
+                    beta=self.beta,
+                    eval_rounds=self.eval_rounds,
+                    amplification=self.amplification,
+                    rng=int(seeds[index]),
+                )
+                self._lanes.append(
+                    _Lane(
+                        key, items, m, self.eval_rounds, self.beta,
+                        search._eff_counts, search._eff_offsets,
+                        search._eff_flat, search.typicality, search.rng,
+                    )
+                )
+                continue
+            typicality = untruncated_typicality(self.beta, items, m, max_load)
+            eff_counts = row_counts[index, :m]
+            eff_offsets = np.zeros(m + 1, dtype=np.int64)
+            np.cumsum(eff_counts, out=eff_offsets[1:])
+            eff_flat = flat_items[lane_starts[index]:lane_starts[index + 1]]
+            self._lanes.append(
+                _Lane(
+                    key, items, m, self.eval_rounds, self.beta,
+                    eff_counts, eff_offsets, eff_flat, typicality,
+                    int(seeds[index]),
+                )
+            )
 
     def run(
         self,
@@ -193,9 +357,10 @@ class BatchedMultiSearch:
         generators.
         """
         repetitions = len(schedule)
+        schedule_column = np.asarray(schedule, dtype=np.int64)
         active: list[_Lane] = []
         for lane in self._lanes:
-            lane.prepare(schedule)
+            lane.prepare(schedule_column)
             if repetitions and lane.can_freeze and lane.live == 0:
                 # No search can ever be found and no repetition can ever be
                 # corrupted: the lane's whole evolution is deterministic, so
@@ -212,7 +377,7 @@ class BatchedMultiSearch:
             still: list[_Lane] = []
             for lane in active:
                 lane.last_rep = rep  # this repetition's charge is incurred
-                rng = lane.search.rng
+                rng = lane.rng
                 if typical:
                     delta = lane.delta[rep]
                     if delta > lane.fidelity_max:
@@ -236,9 +401,8 @@ class BatchedMultiSearch:
                     real = slots < lane.counts[hits]
                     real_hits = hits[real]
                     if real_hits.size:
-                        search = lane.search
-                        lane.found[real_hits] = search._eff_flat[
-                            search._eff_offsets[real_hits] + slots[real]
+                        lane.found[real_hits] = lane.eff_flat[
+                            lane.eff_offsets[real_hits] + slots[real]
                         ]
                         pending = pending[lane.found[pending] < 0]
                         lane.pending = pending

@@ -137,6 +137,53 @@ class TypicalityReport:
         )
 
 
+def typicality_thresholds(
+    beta: float, num_items: int, num_searches: int
+) -> tuple[bool, bool]:
+    """Theorem 3's structural assumptions for one lane:
+    ``|X| < m / (36 log m)`` (the domain is small enough for Lemma 5's bound
+    to bite) and ``β > 8m / |X|`` — the single source of truth shared by
+    :class:`MultiSearch` and the bulk lane registration in
+    :mod:`repro.quantum.batched`."""
+    m = num_searches
+    domain_ok = num_items < m / (36.0 * guarded_log(max(m, 2)))
+    beta_ok = beta > 8.0 * m / num_items
+    return domain_ok, beta_ok
+
+
+def solutions_are_typical(beta: float, max_load: int) -> bool:
+    """Lemma 3's guarantee holds: no item solves more than ``β/2`` of the
+    lane's searches, so the truncated oracle leaves the solution set
+    untouched."""
+    return max_load <= beta / 2.0
+
+
+def untruncated_typicality(
+    beta: Optional[float], num_items: int, num_searches: int, max_load: int
+) -> "TypicalityReport":
+    """The :class:`TypicalityReport` of a lane the truncated oracle leaves
+    untouched — ``beta`` disabled entirely, or solution loads within
+    ``β/2``."""
+    if beta is None:
+        return TypicalityReport(
+            beta=math.inf,
+            domain_small_enough=True,
+            beta_large_enough=True,
+            solutions_typical=True,
+            max_solution_load=max_load,
+            truncated_entries=0,
+        )
+    domain_ok, beta_ok = typicality_thresholds(beta, num_items, num_searches)
+    return TypicalityReport(
+        beta=beta,
+        domain_small_enough=domain_ok,
+        beta_large_enough=beta_ok,
+        solutions_typical=True,
+        max_solution_load=max_load,
+        truncated_entries=0,
+    )
+
+
 @dataclass
 class MultiSearchReport:
     """Result of a lockstep multi-search run.
@@ -290,32 +337,13 @@ class MultiSearch:
         load = np.bincount(flat, minlength=n_items)
         max_load = int(load.max()) if n_items else 0
 
-        if self.beta is None:
-            report = TypicalityReport(
-                beta=math.inf,
-                domain_small_enough=True,
-                beta_large_enough=True,
-                solutions_typical=True,
-                max_solution_load=max_load,
-                truncated_entries=0,
-            )
+        if self.beta is None or solutions_are_typical(self.beta, max_load):
+            report = untruncated_typicality(self.beta, n_items, m, max_load)
             return marked_sets, report
 
         beta = self.beta
-        domain_ok = n_items < m / (36.0 * guarded_log(max(m, 2)))
-        beta_ok = beta > 8.0 * m / n_items
+        domain_ok, beta_ok = typicality_thresholds(beta, n_items, m)
         half_beta = beta / 2.0
-        solutions_typical = max_load <= half_beta
-
-        if solutions_typical:
-            return marked_sets, TypicalityReport(
-                beta=beta,
-                domain_small_enough=domain_ok,
-                beta_large_enough=beta_ok,
-                solutions_typical=True,
-                max_solution_load=max_load,
-                truncated_entries=0,
-            )
 
         keep_budget = np.full(n_items, int(math.floor(half_beta)), dtype=np.int64)
         truncated: list[np.ndarray] = []

@@ -7,9 +7,11 @@ import repro
 from repro.core.constants import PAPER, PaperConstants
 from repro.core.evaluation import (
     PAIR_QUERY_WORDS,
+    QueryPlan,
     block_two_hop,
     duplication_count,
     evaluation_rounds,
+    query_loads,
     step0_duplication_loads,
 )
 from repro.graphs.triangles import two_hop_minplus
@@ -60,50 +62,84 @@ class TestDuplicationCount:
         assert duplication_count(PAPER, 256, 1) == 1
 
 
+class TestQueryPlan:
+    def test_from_mappings_columnarizes_in_dict_order(self):
+        plan = QueryPlan.from_mappings(
+            {"s1": 0, "s2": 3},
+            {"s1": {"d1": 3, "d2": 5}, "s2": {"d1": 2}},
+            {"d1": 1, "d2": 2},
+        )
+        assert len(plan) == 3
+        assert plan.src_phys.tolist() == [0, 0, 3]
+        assert plan.dst_phys.tolist() == [1, 2, 1]
+        assert plan.pair_counts.tolist() == [3, 5, 2]
+        assert plan.src_phys.dtype == np.int64
+
+    def test_misaligned_columns_rejected(self):
+        with pytest.raises(ValueError):
+            QueryPlan(np.zeros(2, dtype=np.int64), np.zeros(3, dtype=np.int64),
+                      np.zeros(2, dtype=np.int64))
+
+    def test_query_loads_bincount_and_cap(self):
+        plan = QueryPlan(
+            np.array([0, 0, 1]), np.array([2, 3, 2]), np.array([4, 9, 1])
+        )
+        src, dst = query_loads(4, plan, beta_pairs=5)
+        # Counts capped at ⌈β⌉ = 5, times 3 words each.
+        assert src.tolist() == [3 * (4 + 5), 3 * 1, 0, 0]
+        assert dst.tolist() == [0, 0, 3 * (4 + 1), 3 * 5]
+
+
 class TestEvaluationRounds:
     def test_simple_plan(self):
         # 4 nodes; one search node queries 2 destinations with 3 pairs each.
-        node_physical = {"s": 0}
-        dest_physical = {"d1": 1, "d2": 2}
-        plan = {"s": {"d1": 3, "d2": 3}}
-        rounds = evaluation_rounds(4, node_physical, plan, dest_physical, beta_pairs=10)
+        plan = QueryPlan.from_mappings(
+            {"s": 0}, {"s": {"d1": 3, "d2": 3}}, {"d1": 1, "d2": 2}
+        )
+        rounds = evaluation_rounds(4, plan, beta_pairs=10)
         # 6 pairs · 3 words = 18 source words on a 4-clique: one-way
         # 2·⌈18/4⌉ = 10, times 2 for the answers.
         assert rounds == 20.0
 
     def test_beta_caps_per_destination(self):
-        node_physical = {"s": 0}
-        dest_physical = {"d": 1}
-        plan = {"s": {"d": 1000}}
-        capped = evaluation_rounds(4, node_physical, plan, dest_physical, beta_pairs=5)
-        uncapped = evaluation_rounds(4, node_physical, plan, dest_physical, beta_pairs=2000)
+        plan = QueryPlan.from_mappings({"s": 0}, {"s": {"d": 1000}}, {"d": 1})
+        capped = evaluation_rounds(4, plan, beta_pairs=5)
+        uncapped = evaluation_rounds(4, plan, beta_pairs=2000)
         assert capped < uncapped
         # 5 pairs · 3 words = 15 → one-way 2·⌈15/4⌉ = 8 → 16 total.
         assert capped == 16.0
 
     def test_empty_plan_free(self):
-        assert evaluation_rounds(4, {}, {}, {}, beta_pairs=5) == 0.0
+        empty = QueryPlan.from_mappings({}, {}, {})
+        assert len(empty) == 0
+        assert evaluation_rounds(4, empty, beta_pairs=5) == 0.0
 
     def test_colocated_virtual_destinations_share_load(self):
-        node_physical = {"s": 0}
-        dest_physical = {"d1": 1, "d2": 1}  # same physical host
-        plan = {"s": {"d1": 4, "d2": 4}}
-        shared = evaluation_rounds(4, node_physical, plan, dest_physical, beta_pairs=10)
-        dest_spread = {"d1": 1, "d2": 2}
-        spread = evaluation_rounds(4, node_physical, plan, dest_spread, beta_pairs=10)
+        query_plan = {"s": {"d1": 4, "d2": 4}}
+        shared = evaluation_rounds(
+            4,
+            QueryPlan.from_mappings({"s": 0}, query_plan, {"d1": 1, "d2": 1}),
+            beta_pairs=10,
+        )
+        spread = evaluation_rounds(
+            4,
+            QueryPlan.from_mappings({"s": 0}, query_plan, {"d1": 1, "d2": 2}),
+            beta_pairs=10,
+        )
         assert shared >= spread
 
 
 class TestStep0Duplication:
     def test_no_duplicates_free(self):
+        # Duplicate hosted on the source's own physical node costs nothing.
         rounds = step0_duplication_loads(
-            4, {"t": 0}, {"t": [0]}, {"t": 100}
+            4, np.array([0]), np.array([0]), np.array([100])
         )
-        assert rounds == 0.0  # duplicate on same physical node costs nothing
+        assert rounds == 0.0
 
     def test_cross_node_duplication_charged(self):
         rounds = step0_duplication_loads(
-            4, {"t": 0}, {"t": [1, 2]}, {"t": 6}
+            4, np.array([0, 0]), np.array([1, 2]), np.array([6, 6])
         )
         # Source ships 2 × 6 words: 2·⌈12/4⌉ = 6 rounds.
         assert rounds == 6.0

@@ -197,7 +197,7 @@ class TestDuplicationPath:
         # Duplication splits each destination's fan-in across dup physical
         # hosts, cutting the Lemma-1 charge; the sources' totals are
         # unchanged up to sublist rounding.
-        from repro.core.evaluation import evaluation_rounds
+        from repro.core.evaluation import QueryPlan, evaluation_rounds
 
         num_nodes = 16
         beta = 8
@@ -205,7 +205,9 @@ class TestDuplicationPath:
         # Without duplication: one hot triple node sinks from all sources.
         plan_hot = {src: {"t": beta} for src in sources}
         hot_rounds = evaluation_rounds(
-            num_nodes, sources, plan_hot, {"t": 8}, beta_pairs=beta
+            num_nodes,
+            QueryPlan.from_mappings(sources, plan_hot, {"t": 8}),
+            beta_pairs=beta,
         )
         # With dup = 4: four sublists per source to four distinct hosts.
         dup_dests = {("t", y): 8 + y for y in range(4)}
@@ -214,7 +216,9 @@ class TestDuplicationPath:
             src: {("t", y): share for y in range(4)} for src in sources
         }
         dup_rounds = evaluation_rounds(
-            num_nodes, sources, plan_dup, dup_dests, beta_pairs=beta
+            num_nodes,
+            QueryPlan.from_mappings(sources, plan_dup, dup_dests),
+            beta_pairs=beta,
         )
         assert dup_rounds < hot_rounds
         # Hot destination: 8 sources × 8 pairs × 3 words = 192 ⇒ 2·⌈192/16⌉

@@ -170,3 +170,127 @@ def test_duplicate_keys_rejected():
     batched.add("a", 3, np.ones((1, 3), dtype=bool), rng=0)
     with pytest.raises(QuantumSimulationError):
         batched.add("a", 3, np.ones((1, 3), dtype=bool), rng=0)
+
+
+def padded_stack(lanes):
+    """The bulk-registration view of per-lane tables: a padded 3-D bool
+    stack plus the per-lane (num_items, num_searches) columns."""
+    num_items = np.array([items for _, items, _ in lanes], dtype=np.int64)
+    num_searches = np.array([table.shape[0] for _, _, table in lanes], dtype=np.int64)
+    stack = np.zeros(
+        (len(lanes), int(num_searches.max()), int(num_items.max())), dtype=bool
+    )
+    for index, (_, items, table) in enumerate(lanes):
+        stack[index, : table.shape[0], :items] = table
+    return num_items, num_searches, stack
+
+
+def run_bulk(lanes, schedule, *, beta, eval_rounds, amplification, seed,
+             early_stop=True):
+    spawner = np.random.default_rng(seed)
+    batched = BatchedMultiSearch(
+        beta=beta, eval_rounds=eval_rounds, amplification=amplification
+    )
+    num_items, num_searches, stack = padded_stack(lanes)
+    # One batched draw — must equal len(lanes) sequential spawner draws.
+    seeds = spawner.integers(0, 2**63 - 1, size=len(lanes))
+    batched.add_lanes(
+        [key for key, _, _ in lanes], num_items, num_searches, stack,
+        seeds=seeds,
+    )
+    reports = batched.run(schedule, early_stop=early_stop)
+    return reports, spawner
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("beta", BETA_REGIMES)
+def test_add_lanes_equals_add_loop(seed, beta):
+    # Bulk registration from the padded stack is bit-identical to the
+    # per-label add loop — including atypical lanes (beta=3.0 truncates)
+    # and the parent seed stream.
+    rng = np.random.default_rng(300 + seed)
+    lanes = random_lanes(
+        rng, num_lanes=7, max_items=9, max_searches=12, solution_rate=0.3
+    )
+    cap = max_iterations(max(num_items for _, num_items, _ in lanes) + 1)
+    schedule = rng.integers(0, cap + 1, size=25).tolist()
+    kwargs = dict(beta=beta, eval_rounds=1.5, amplification=12.0, seed=seed)
+    sequential = run_sequential(lanes, schedule, **kwargs)
+    bulk, spawner = run_bulk(lanes, schedule, **kwargs)
+    assert_reports_identical(sequential, bulk)
+    # The bulk seed draw consumed the parent exactly like per-lane spawns.
+    probe = np.random.default_rng(seed)
+    probe.integers(0, 2**63 - 1, size=len(lanes))
+    assert np.array_equal(spawner.random(8), probe.random(8))
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_add_lanes_equals_add_loop_with_corruption(seed):
+    rng = np.random.default_rng(400 + seed)
+    lanes = []
+    for index in range(4):
+        num_items = int(rng.integers(2, 5))
+        num_searches = int(rng.integers(20, 40))
+        table = rng.random((num_searches, num_items)) < 0.15
+        lanes.append((f"lane{index}", num_items, table))
+    schedule = rng.integers(0, 4, size=30).tolist()
+    kwargs = dict(beta=8.0, eval_rounds=2.0, amplification=12.0, seed=seed)
+    assert_reports_identical(
+        run_sequential(lanes, schedule, **kwargs),
+        run_bulk(lanes, schedule, **kwargs)[0],
+    )
+
+
+class TestAddLanesValidation:
+    def good_inputs(self):
+        stack = np.zeros((2, 3, 4), dtype=bool)
+        stack[0, :2, :3] = True
+        stack[1] = True
+        return (
+            ["a", "b"],
+            np.array([3, 4]),
+            np.array([2, 3]),
+            stack,
+            np.array([1, 2]),
+        )
+
+    def test_accepts_well_formed_stack(self):
+        keys, items, searches, stack, seeds = self.good_inputs()
+        batched = BatchedMultiSearch(beta=100.0)
+        batched.add_lanes(keys, items, searches, stack, seeds=seeds)
+        assert len(batched) == 2
+
+    def test_rejects_true_padding(self):
+        keys, items, searches, stack, seeds = self.good_inputs()
+        stack = stack.copy()
+        stack[0, 2, 0] = True  # outside lane 0's (2, 3) window
+        batched = BatchedMultiSearch(beta=100.0)
+        with pytest.raises(QuantumSimulationError):
+            batched.add_lanes(keys, items, searches, stack, seeds=seeds)
+
+    def test_rejects_misaligned_columns(self):
+        keys, items, searches, stack, seeds = self.good_inputs()
+        batched = BatchedMultiSearch(beta=100.0)
+        with pytest.raises(QuantumSimulationError):
+            batched.add_lanes(keys, items[:1], searches, stack, seeds=seeds)
+
+    def test_rejects_window_larger_than_stack(self):
+        keys, items, searches, stack, seeds = self.good_inputs()
+        batched = BatchedMultiSearch(beta=100.0)
+        with pytest.raises(QuantumSimulationError):
+            batched.add_lanes(keys, items + 10, searches, stack, seeds=seeds)
+
+    def test_rejects_duplicate_key_across_paths(self):
+        keys, items, searches, stack, seeds = self.good_inputs()
+        batched = BatchedMultiSearch(beta=100.0)
+        batched.add("a", 3, np.ones((1, 3), dtype=bool), rng=0)
+        with pytest.raises(QuantumSimulationError):
+            batched.add_lanes(keys, items, searches, stack, seeds=seeds)
+
+    def test_empty_bulk_is_a_no_op(self):
+        batched = BatchedMultiSearch(beta=100.0)
+        batched.add_lanes(
+            [], np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+            np.empty((0, 1, 1), dtype=bool), seeds=np.empty(0, dtype=np.int64),
+        )
+        assert len(batched) == 0
