@@ -20,7 +20,24 @@ import subprocess
 import numpy as np
 import pytest
 
+from repro import telemetry
+from repro.telemetry import report as telemetry_report
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(autouse=True)
+def _bench_telemetry():
+    """Run every benchmark under a telemetry collector.
+
+    Strictly observational — counting generators are stream-identical and
+    the bridged tracer only mirrors records, so the committed tables stay
+    byte-identical (e17 asserts the overhead contract).  The collector is
+    what lets :func:`write_metrics` attach the ``phase_breakdown`` column
+    to every result row.
+    """
+    with telemetry.collect() as collector:
+        yield collector
 
 
 def write_result(name: str, text: str) -> None:
@@ -50,9 +67,19 @@ def write_metrics(experiment: str, records: list[dict]) -> None:
     ``n``, ``wall_seconds``, ``rounds``, ``commit`` — plus any extra keys
     the experiment finds useful; ``tools/bench_summary.py`` rolls every
     such file into ``BENCH_SUMMARY.json`` for trajectory diffs.
+
+    When the ambient telemetry collector is live (the autouse
+    ``_bench_telemetry`` fixture), every record additionally carries the
+    test-so-far ``phase_breakdown`` — per-span wall/self seconds, RNG
+    draws, and per-phase congest rounds (``repro.telemetry/v1``, validated
+    by ``tools/bench_summary.py --check``).
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     commit = current_commit()
+    breakdown = None
+    collector = telemetry.active()
+    if collector is not None:
+        breakdown = telemetry_report.phase_breakdown(collector.snapshot())
     payload = [
         {
             "experiment": experiment,
@@ -60,6 +87,7 @@ def write_metrics(experiment: str, records: list[dict]) -> None:
             "wall_seconds": record.get("wall_seconds"),
             "rounds": record.get("rounds"),
             "commit": commit,
+            **({"phase_breakdown": breakdown} if breakdown is not None else {}),
             **{
                 key: value
                 for key, value in record.items()

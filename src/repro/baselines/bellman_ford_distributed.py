@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.congest.accounting import RoundLedger
 from repro.congest.network import CongestClique
 from repro.errors import NegativeCycleError
@@ -50,7 +51,16 @@ def bellman_ford_distributed(
     n = graph.num_vertices
     if not 0 <= source < n:
         raise ValueError(f"source {source} out of range for n={n}")
+    with telemetry.span("baseline.bellman_ford_sssp", n=n, source=source):
+        return _bellman_ford(graph, source, rng)
+
+
+def _bellman_ford(graph: WeightedDigraph, source: int, rng: RngLike) -> SSSPReport:
+    n = graph.num_vertices
     network = CongestClique(n, rng=ensure_rng(rng))
+    collector = telemetry.active()
+    if collector is not None:
+        collector.attach(network)
     weights = graph.weights
 
     dist = np.full(n, np.inf)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.congest.accounting import RoundLedger
 from repro.congest.batch import MessageBatch
 from repro.congest.network import CongestClique
@@ -48,6 +49,9 @@ def distributed_minplus_product(
         raise ValueError("operands must be square matrices of equal shape")
     n = a.shape[0]
     network = CongestClique(n, rng=ensure_rng(rng))
+    collector = telemetry.active()
+    if collector is not None:
+        collector.attach(network)
     num_blocks = max(1, round(n ** (1.0 / 3.0)))
     partition = BlockPartition(n, min(num_blocks, n))
     q = partition.num_blocks
@@ -115,9 +119,10 @@ class CensorHillelAPSP:
         total = 0.0
         squarings = max(1, int(np.ceil(np.log2(max(n, 2)))))
         for step in range(squarings):
-            matrix, product_ledger = distributed_minplus_product(
-                matrix, matrix, rng=self.rng
-            )
+            with telemetry.span("baseline.censor_hillel_squaring", n=n, step=step):
+                matrix, product_ledger = distributed_minplus_product(
+                    matrix, matrix, rng=self.rng
+                )
             ledger.merge(product_ledger, prefix=f"squaring{step}.")
             total += product_ledger.total
         if detect_negative_cycle(matrix):

@@ -14,6 +14,14 @@ Commands
                 through the service layer.
 ``serve-batch`` solve a batch of graphs as jobs, optionally across worker
                 processes, against a shared result cache.
+``stats``       read a ``--trace`` telemetry JSON, print the per-span
+                rollup, and exit 1 if the snapshot is internally
+                inconsistent.
+
+``query`` and ``serve-batch`` accept ``--trace <path>`` (write the full
+telemetry snapshot as versioned JSON) and ``--verbose`` (print a one-line
+cache/latency summary); either flag enables the telemetry collector for
+the duration of the command.
 
 Graph files use the formats of :mod:`repro.graphs.io` (``.npz`` or edge-list
 text, selected by extension).
@@ -22,11 +30,15 @@ text, selected by extension).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from contextlib import contextmanager
 
 import numpy as np
 
 import repro
+from repro import telemetry
+from repro.errors import TelemetryError
 from repro.graphs import io as graph_io
 from repro.service import (
     JobEngine,
@@ -159,6 +171,34 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if validation.valid else 1
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.telemetry import report as telemetry_report
+
+    try:
+        snapshot = telemetry_report.load_snapshot(args.trace)
+    except FileNotFoundError:
+        raise SystemExit(f"no such trace file: {args.trace}")
+    except (json.JSONDecodeError, TelemetryError) as error:
+        raise SystemExit(f"not a telemetry trace: {error}")
+    problems = telemetry_report.consistency_problems(snapshot)
+    if args.json:
+        print(
+            json.dumps(
+                telemetry_report.phase_breakdown(snapshot),
+                indent=2, sort_keys=True, default=_json_default,
+            )
+        )
+    else:
+        print(
+            telemetry_report.format_snapshot(
+                snapshot, title=f"telemetry trace {args.trace}"
+            )
+        )
+    for problem in problems:
+        print(f"inconsistency: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
 def _cmd_model(args: argparse.Namespace) -> int:
     model = repro.RoundModel()
     rows = []
@@ -188,51 +228,114 @@ def _make_store(args: argparse.Namespace) -> ResultStore:
     return ResultStore(cache_dir=cache_dir) if cache_dir else ResultStore()
 
 
+def _json_default(value):
+    """JSON fallback for numpy scalars landing in span attributes."""
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)
+
+
+@contextmanager
+def _maybe_collect(args: argparse.Namespace):
+    """Install a telemetry collector when ``--trace``/``--verbose`` ask for
+    one; write the trace file on the way out.  Yields the collector or
+    ``None`` (telemetry stays fully disabled)."""
+    trace = getattr(args, "trace", None)
+    if not trace and not getattr(args, "verbose", False):
+        yield None
+        return
+    with telemetry.collect() as collector:
+        yield collector
+    if trace:
+        with open(trace, "w", encoding="utf-8") as handle:
+            json.dump(
+                collector.snapshot(), handle,
+                indent=2, sort_keys=True, default=_json_default,
+            )
+            handle.write("\n")
+        print(f"telemetry trace written to {trace}")
+
+
+def _quantile_text(collector, name: str) -> str:
+    """``mean=…s p95=…s`` for a recorded histogram (empty string if none)."""
+    if collector is None or name not in collector.metrics:
+        return ""
+    histogram = collector.metrics.histogram(name)
+    if histogram.count == 0:
+        return ""
+    return f"mean={histogram.mean:.4f}s p95={histogram.quantile(0.95):.4f}s"
+
+
+def _verbose_summary(collector) -> None:
+    """The ``--verbose`` one-liner: cache traffic + wall-time quantiles."""
+    if collector is None:
+        return
+    counters = collector.metrics.snapshot()["counters"]
+    parts = [
+        f"store hits={counters.get('store.hits', 0):.0f}"
+        f" misses={counters.get('store.misses', 0):.0f}"
+        f" evictions={counters.get('store.evictions', 0):.0f}"
+    ]
+    query_text = _quantile_text(collector, "queries.latency_seconds")
+    if query_text:
+        parts.append(f"query {query_text}")
+    wait_text = _quantile_text(collector, "jobs.queue_wait_seconds")
+    if wait_text:
+        parts.append(f"job wait {wait_text}")
+    run_text = _quantile_text(collector, "jobs.run_seconds")
+    if run_text:
+        parts.append(f"job run {run_text}")
+    parts.append(f"rng draws={collector.rng_draws}")
+    print(f"telemetry: {'; '.join(parts)}")
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     if not isinstance(graph, repro.WeightedDigraph):
         raise SystemExit("query expects a directed graph")
-    engine = QueryEngine(
-        solver=args.solver,
-        options=SolveOptions(scale=args.scale, seed=args.seed),
-        store=_make_store(args),
-    )
     requests = [QueryRequest("dist", u, v) for u, v in args.dist or []]
     requests += [QueryRequest("path", u, v) for u, v in args.path or []]
     if args.negative_cycle:
         requests.append(QueryRequest("negative-cycle"))
     if args.diameter or not requests:
         requests.append(QueryRequest("diameter"))
-    try:
-        results = engine.query_batch(graph, requests)
-    except (repro.GraphError, repro.ServiceError) as error:
-        raise SystemExit(f"query failed: {error}")
-    # A batch answered on a negative-cycle graph carries None for every
-    # dist/path/diameter request — distances are undefined there.
-    negative = any(
-        r.request.kind == "negative-cycle" and r.value for r in results
-    )
-    for result in results:
-        req = result.request
-        if negative and result.value is None:
-            label = req.kind if req.u < 0 else f"{req.kind} {req.u} -> {req.v}"
-            print(f"{label}: undefined (graph has a negative cycle)")
-        elif req.kind == "dist":
-            print(f"dist {req.u} -> {req.v}: {result.value:g}")
-        elif req.kind == "path":
-            rendered = (
-                " -> ".join(map(str, result.value))
-                if result.value is not None
-                else "unreachable"
-            )
-            print(f"path {req.u} -> {req.v}: {rendered}")
-        else:
-            print(f"{req.kind}: {result.value}")
-    stats = engine.store.stats
-    print(
-        f"served {len(results)} queries with {engine.solver_invocations} solve(s) "
-        f"[cache hits={stats.hits} misses={stats.misses}]"
-    )
+    with _maybe_collect(args) as collector:
+        engine = QueryEngine(
+            solver=args.solver,
+            options=SolveOptions(scale=args.scale, seed=args.seed),
+            store=_make_store(args),
+        )
+        try:
+            results = engine.query_batch(graph, requests)
+        except (repro.GraphError, repro.ServiceError) as error:
+            raise SystemExit(f"query failed: {error}")
+        # A batch answered on a negative-cycle graph carries None for every
+        # dist/path/diameter request — distances are undefined there.
+        negative = any(
+            r.request.kind == "negative-cycle" and r.value for r in results
+        )
+        for result in results:
+            req = result.request
+            if negative and result.value is None:
+                label = req.kind if req.u < 0 else f"{req.kind} {req.u} -> {req.v}"
+                print(f"{label}: undefined (graph has a negative cycle)")
+            elif req.kind == "dist":
+                print(f"dist {req.u} -> {req.v}: {result.value:g}")
+            elif req.kind == "path":
+                rendered = (
+                    " -> ".join(map(str, result.value))
+                    if result.value is not None
+                    else "unreachable"
+                )
+                print(f"path {req.u} -> {req.v}: {rendered}")
+            else:
+                print(f"{req.kind}: {result.value}")
+        stats = engine.store.stats
+        print(
+            f"served {len(results)} queries with {engine.solver_invocations} solve(s) "
+            f"[cache hits={stats.hits} misses={stats.misses}]"
+        )
+        _verbose_summary(collector)
     return 0
 
 
@@ -257,38 +360,42 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
                 )
             )
             labels.append(f"generated[seed={args.seed + index}]")
-    engine = JobEngine(
-        store=_make_store(args),
-        solver=args.solver,
-        options=SolveOptions(scale=args.scale, seed=args.seed),
-    )
-    jobs = [engine.submit(graph) for graph in graphs]
-    if args.workers > 1:
-        engine.run_pending_parallel(max_workers=args.workers)
-    else:
-        engine.run_pending()
-    failed = 0
-    for label, job in zip(labels, jobs):
-        line = (
-            f"{job.job_id} {job.digest[:12]} {job.state.value:>7}"
-            f" solver={job.solver}"
+    with _maybe_collect(args) as collector:
+        engine = JobEngine(
+            store=_make_store(args),
+            solver=args.solver,
+            options=SolveOptions(scale=args.scale, seed=args.seed),
         )
-        if job.state is JobState.DONE:
-            line += (
-                f" rounds={job.artifact.rounds:,.0f}"
-                f" cache_hit={job.cache_hit}"
+        jobs = [engine.submit(graph) for graph in graphs]
+        if args.workers > 1:
+            engine.run_pending_parallel(max_workers=args.workers)
+        else:
+            engine.run_pending()
+        failed = 0
+        for label, job in zip(labels, jobs):
+            line = (
+                f"{job.job_id} {job.digest[:12]} {job.state.value:>7}"
+                f" solver={job.solver}"
             )
-            if job.worker_pid is not None:
-                line += f" pid={job.worker_pid}"
-        elif job.state is JobState.FAILED:
-            failed += 1
-            line += f" error={job.error_type}: {job.error}"
-        print(f"{line}  ({label})")
-    stats = engine.store.stats
-    print(
-        f"{len(jobs)} job(s), {failed} failed, {engine.solver_invocations} solve(s) "
-        f"[cache hits={stats.hits} misses={stats.misses}]"
-    )
+            if job.state is JobState.DONE:
+                line += (
+                    f" rounds={job.artifact.rounds:,.0f}"
+                    f" cache_hit={job.cache_hit}"
+                )
+                if job.worker_pid is not None:
+                    line += f" pid={job.worker_pid}"
+            elif job.state is JobState.FAILED:
+                failed += 1
+                line += f" error={job.error_type}: {job.error}"
+            if not job.cache_hit:
+                line += f" wait={job.queue_wait_s:.3f}s run={job.duration_s:.3f}s"
+            print(f"{line}  ({label})")
+        stats = engine.store.stats
+        print(
+            f"{len(jobs)} job(s), {failed} failed, {engine.solver_invocations} solve(s) "
+            f"[cache hits={stats.hits} misses={stats.misses}]"
+        )
+        _verbose_summary(collector)
     return 0 if failed == 0 else 1
 
 
@@ -359,6 +466,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", type=float, default=0.5)
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--cache-dir", help="persist closures as .npz under this dir")
+        p.add_argument(
+            "--trace",
+            help="write the telemetry snapshot (spans, metrics, RNG, congest) "
+            "to this JSON file",
+        )
+        p.add_argument(
+            "--verbose", action="store_true",
+            help="print a cache/latency telemetry summary line",
+        )
 
     p_query = sub.add_parser(
         "query", help="answer point queries from a cached closure"
@@ -393,6 +509,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool width; 1 runs jobs synchronously",
     )
     p_serve.set_defaults(func=_cmd_serve_batch)
+
+    p_stats = sub.add_parser(
+        "stats", help="summarize a telemetry trace written by --trace"
+    )
+    p_stats.add_argument("trace", help="telemetry JSON file (repro.telemetry/v1)")
+    p_stats.add_argument(
+        "--json", action="store_true",
+        help="emit the phase-breakdown rollup as JSON instead of tables",
+    )
+    p_stats.set_defaults(func=_cmd_stats)
 
     p_model = sub.add_parser("model", help="analytic round-model table")
     p_model.add_argument("--min-exp", type=int, default=4)

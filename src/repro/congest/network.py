@@ -39,7 +39,7 @@ from repro.congest.batch import MessageBatch
 from repro.congest.message import Message
 from repro.congest.router import route_rounds
 from repro.errors import NetworkError
-from repro.util.rng import RngLike, ensure_rng
+from repro.util.rng import RngLike, ensure_rng, materialize_rng
 
 
 #: Sentinel for SchemeView's not-yet-inspected vectorized-positions cache
@@ -75,7 +75,7 @@ class Node:
     @property
     def rng(self) -> np.random.Generator:
         if not isinstance(self._rng, np.random.Generator):
-            self._rng = np.random.default_rng(self._rng)
+            self._rng = materialize_rng(self._rng)
         return self._rng
 
     @rng.setter

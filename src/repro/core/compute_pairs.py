@@ -37,6 +37,7 @@ from repro.core.identify_class import run_identify_class
 from repro.core.problems import FindEdgesInstance, FindEdgesSolution
 from repro.core.quantum_step3 import run_step3
 from repro.errors import ConvergenceError, ProtocolAbortedError
+from repro import telemetry
 from repro.util.rng import RngLike, ensure_rng, spawn_rng
 
 #: Rows per witness-table gather chunk in Step 2 — sized so the float
@@ -63,21 +64,25 @@ def compute_pairs(
     """
     generator = ensure_rng(rng)
     aborts = 0
-    for _ in range(max_retries):
-        try:
-            solution = _compute_pairs_once(
-                instance,
-                constants=constants,
-                rng=spawn_rng(generator),
-                search_mode=search_mode,
-                amplification=amplification,
-                attach_payloads=attach_payloads,
-            )
-        except ProtocolAbortedError:
-            aborts += 1
-            continue
-        solution.aborts = aborts
-        return solution
+    with telemetry.span(
+        "compute_pairs", n=instance.num_vertices, search_mode=search_mode
+    ) as outer:
+        for _ in range(max_retries):
+            try:
+                solution = _compute_pairs_once(
+                    instance,
+                    constants=constants,
+                    rng=spawn_rng(generator),
+                    search_mode=search_mode,
+                    amplification=amplification,
+                    attach_payloads=attach_payloads,
+                )
+            except ProtocolAbortedError:
+                aborts += 1
+                continue
+            solution.aborts = aborts
+            outer.set("aborts", aborts).set("rounds", solution.rounds)
+            return solution
     raise ConvergenceError(
         f"ComputePairs aborted {max_retries} times in a row; "
         "constants.scale may be too aggressive for this n"
@@ -94,14 +99,19 @@ def _compute_pairs_once(
     attach_payloads: bool = False,
 ) -> FindEdgesSolution:
     n = instance.num_vertices
-    network = CongestClique(n, rng=spawn_rng(rng))
-    partitions = CliquePartitions(n)
-    witness = instance.graph.weights
+    with telemetry.span("compute_pairs.step0_setup", n=n):
+        network = CongestClique(n, rng=spawn_rng(rng))
+        collector = telemetry.active()
+        if collector is not None:
+            collector.attach(network)
+        partitions = CliquePartitions(n)
+        witness = instance.graph.weights
 
-    network.register_scheme("triple", partitions.triple_labels())
-    network.register_scheme("search", partitions.search_labels())
+        network.register_scheme("triple", partitions.triple_labels())
+        network.register_scheme("search", partitions.search_labels())
 
-    _step1_load(network, partitions, witness if attach_payloads else None)
+    with telemetry.span("compute_pairs.step1_load", n=n):
+        _step1_load(network, partitions, witness if attach_payloads else None)
 
     # Node-local two-hop tables: what the triple nodes (u, v, ·) jointly
     # compute from the weights gathered in Step 1 (free: local computation).
@@ -119,24 +129,27 @@ def _compute_pairs_once(
             )
         return cache[key]
 
-    node_pairs, coverage = _step2_sample(
-        network, partitions, instance, constants, rng, two_hop_for
-    )
+    with telemetry.span("compute_pairs.step2_sample", n=n):
+        node_pairs, coverage = _step2_sample(
+            network, partitions, instance, constants, rng, two_hop_for
+        )
 
-    assignment = run_identify_class(
-        network, instance, partitions, constants, two_hop_for, rng
-    )
+    with telemetry.span("compute_pairs.step3_identify", n=n):
+        assignment = run_identify_class(
+            network, instance, partitions, constants, two_hop_for, rng
+        )
 
-    step3 = run_step3(
-        network,
-        partitions,
-        constants,
-        assignment,
-        node_pairs,
-        rng=rng,
-        search_mode=search_mode,
-        amplification=amplification,
-    )
+    with telemetry.span("compute_pairs.step3_search", n=n):
+        step3 = run_step3(
+            network,
+            partitions,
+            constants,
+            assignment,
+            node_pairs,
+            rng=rng,
+            search_mode=search_mode,
+            amplification=amplification,
+        )
 
     details = {
         "coverage": coverage,

@@ -63,6 +63,7 @@ from repro.core.evaluation import (
 )
 from repro.core.identify_class import ClassAssignment
 from repro.errors import NetworkError
+from repro import telemetry
 from repro.quantum.amplitude import max_iterations
 from repro.quantum.batched import BatchedMultiSearch
 from repro.util.mathutil import guarded_log
@@ -180,20 +181,21 @@ def run_step3(
 
     all_alphas = sorted({alpha for alpha in assignment.classes.values()})
     for alpha in all_alphas:
-        _run_class(
-            network,
-            partitions,
-            constants,
-            assignment,
-            node_pairs,
-            arrays,
-            triples,
-            alpha,
-            report,
-            generator,
-            search_mode,
-            amplification,
-        )
+        with telemetry.span("step3.class", alpha=alpha, mode=search_mode):
+            _run_class(
+                network,
+                partitions,
+                constants,
+                assignment,
+                node_pairs,
+                arrays,
+                triples,
+                alpha,
+                report,
+                generator,
+                search_mode,
+                amplification,
+            )
     return report
 
 

@@ -68,6 +68,11 @@ class ConvergenceError(ReproError):
     without reaching its goal."""
 
 
+class TelemetryError(ReproError):
+    """Raised on misuse of the telemetry plane (:mod:`repro.telemetry`):
+    bad histogram bounds, metric-kind collisions, malformed snapshots."""
+
+
 class ServiceError(ReproError):
     """Raised on misuse of the serving layer (:mod:`repro.service`)."""
 

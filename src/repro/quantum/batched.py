@@ -57,7 +57,8 @@ from repro.quantum.multisearch import (
     uniform_atypical_mass,
     untruncated_typicality,
 )
-from repro.util.rng import RngLike
+from repro import telemetry
+from repro.util.rng import RngLike, materialize_rng
 
 
 class _Lane:
@@ -112,7 +113,7 @@ class _Lane:
     @property
     def rng(self) -> np.random.Generator:
         if not isinstance(self._rng, np.random.Generator):
-            self._rng = np.random.default_rng(self._rng)
+            self._rng = materialize_rng(self._rng)
         return self._rng
 
     def prepare(self, schedule: np.ndarray) -> None:
@@ -356,6 +357,19 @@ class BatchedMultiSearch:
         ``MultiSearch.run(schedule=schedule)`` on the same inputs and
         generators.
         """
+        with telemetry.span(
+            "quantum.batched_run",
+            lanes=len(self._lanes),
+            repetitions=len(schedule),
+        ):
+            return self._run(schedule, early_stop=early_stop)
+
+    def _run(
+        self,
+        schedule: Sequence[int],
+        *,
+        early_stop: bool,
+    ) -> dict[Hashable, MultiSearchReport]:
         repetitions = len(schedule)
         schedule_column = np.asarray(schedule, dtype=np.int64)
         active: list[_Lane] = []

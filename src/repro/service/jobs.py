@@ -29,12 +29,20 @@ from typing import Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import JobFailedError
 from repro.graphs.digraph import WeightedDigraph
 from repro.matrix.witness import successor_matrix
 from repro.service.hashing import graph_digest
 from repro.service.solvers import SolveOptions, make_solver
 from repro.service.store import ClosureArtifact, ResultStore, artifact_key
+
+
+def _count(name: str, amount: float = 1.0) -> None:
+    """Bump a job-engine counter when telemetry is enabled."""
+    collector = telemetry.active()
+    if collector is not None:
+        collector.metrics.inc(name, amount)
 
 
 class JobState(Enum):
@@ -48,7 +56,14 @@ class JobState(Enum):
 
 @dataclass
 class Job:
-    """One submitted APSP instance and its progress."""
+    """One submitted APSP instance and its progress.
+
+    ``duration_s`` is the worker-side solve time; ``queue_wait_s`` is the
+    submit-to-dispatch wait (0 for cache hits, which never queue).  Both
+    are surfaced separately so saturated pools are distinguishable from
+    slow solves.  ``submitted_s`` is the submission instant as a
+    process-local :func:`time.perf_counter` reading.
+    """
 
     job_id: str
     digest: str
@@ -61,6 +76,8 @@ class Job:
     cache_hit: bool = False
     worker_pid: Optional[int] = None
     duration_s: float = 0.0
+    submitted_s: float = 0.0
+    queue_wait_s: float = 0.0
 
 
 def _solve_in_worker(
@@ -142,22 +159,29 @@ class JobEngine:
         """
         if not isinstance(graph, WeightedDigraph):
             raise TypeError("the job engine solves WeightedDigraph instances")
-        job = Job(
-            job_id=f"job-{next(self._ids)}",
-            digest=graph_digest(graph),
-            solver=solver if solver is not None else self.default_solver,
-            options=options if options is not None else self.default_options,
-        )
-        cached = self.store.get(artifact_key(job.digest, job.solver))
-        if cached is not None:
-            job.state = JobState.DONE
-            job.artifact = cached
-            job.cache_hit = True
+        with telemetry.span("jobs.submit") as span:
+            job = Job(
+                job_id=f"job-{next(self._ids)}",
+                digest=graph_digest(graph),
+                solver=solver if solver is not None else self.default_solver,
+                options=options if options is not None else self.default_options,
+                submitted_s=time.perf_counter(),
+            )
+            span.set("job_id", job.job_id).set("solver", job.solver)
+            cached = self.store.get(artifact_key(job.digest, job.solver))
+            if cached is not None:
+                job.state = JobState.DONE
+                job.artifact = cached
+                job.cache_hit = True
+                span.set("cache_hit", True)
+                _count("jobs.submitted")
+                _count("jobs.cache_hits")
+                return job
+            self._jobs[job.job_id] = job
+            self._graphs[job.job_id] = graph
+            self._trim_history()
+            _count("jobs.submitted")
             return job
-        self._jobs[job.job_id] = job
-        self._graphs[job.job_id] = graph
-        self._trim_history()
-        return job
 
     def _trim_history(self) -> None:
         if len(self._jobs) <= self.max_history:
@@ -195,9 +219,9 @@ class JobEngine:
         if job.state is not JobState.PENDING:
             return job
         graph = self._graphs.pop(job.job_id)
-        job.state = JobState.RUNNING
-        self.solver_invocations += 1
-        payload = _solve_in_worker(graph.weights, job.solver, job.options)
+        self._dispatch(job)
+        with telemetry.span("jobs.run", job_id=job.job_id, solver=job.solver):
+            payload = _solve_in_worker(graph.weights, job.solver, job.options)
         self._finish(job, payload)
         return job
 
@@ -217,17 +241,19 @@ class JobEngine:
             return []
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = {}
-            for job in todo:
-                graph = self._graphs.pop(job.job_id)
-                job.state = JobState.RUNNING
-                self.solver_invocations += 1
-                futures[job.job_id] = pool.submit(
-                    _solve_in_worker, graph.weights, job.solver, job.options
-                )
-            for job in todo:
-                self._finish(job, futures[job.job_id].result())
+        with telemetry.span(
+            "jobs.run_parallel", jobs=len(todo), max_workers=max_workers
+        ):
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = {}
+                for job in todo:
+                    graph = self._graphs.pop(job.job_id)
+                    self._dispatch(job)
+                    futures[job.job_id] = pool.submit(
+                        _solve_in_worker, graph.weights, job.solver, job.options
+                    )
+                for job in todo:
+                    self._finish(job, futures[job.job_id].result())
         return todo
 
     def result(self, job_id: str) -> ClosureArtifact:
@@ -244,9 +270,25 @@ class JobEngine:
         assert job.artifact is not None
         return job.artifact
 
+    def _dispatch(self, job: Job) -> None:
+        """PENDING → RUNNING: stamp the queue wait and count the transition."""
+        job.queue_wait_s = max(0.0, time.perf_counter() - job.submitted_s)
+        job.state = JobState.RUNNING
+        self.solver_invocations += 1
+        _count("jobs.dispatched")
+        collector = telemetry.active()
+        if collector is not None:
+            collector.metrics.observe("jobs.queue_wait_seconds", job.queue_wait_s)
+
     def _finish(self, job: Job, payload: dict) -> None:
         job.worker_pid = payload.get("pid")
         job.duration_s = float(payload.get("duration_s", 0.0))
+        collector = telemetry.active()
+        if collector is not None:
+            collector.metrics.observe("jobs.run_seconds", job.duration_s)
+            collector.metrics.inc(
+                "jobs.done" if payload["ok"] else "jobs.failed"
+            )
         if payload["ok"]:
             artifact = ClosureArtifact(
                 digest=job.digest,

@@ -16,11 +16,13 @@ read from files, built by the CLI, or constructed programmatically; batched
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import JobFailedError, ServiceError
 from repro.graphs.digraph import WeightedDigraph
 from repro.matrix.apsp import batch_distance_lookup
@@ -33,6 +35,16 @@ from repro.service.store import ClosureArtifact, ResultStore
 QUERY_KINDS = ("dist", "path", "diameter", "negative-cycle")
 
 QueryValue = Union[float, bool, None, "list[int]"]
+
+
+def _observe_query(kind: str, started: float) -> None:
+    """Record one answered query in the metrics registry when enabled."""
+    collector = telemetry.active()
+    if collector is not None:
+        metrics = collector.metrics
+        metrics.inc("queries.total")
+        metrics.inc(f"queries.{kind}")
+        metrics.observe("queries.latency_seconds", time.perf_counter() - started)
 
 
 @dataclass(frozen=True)
@@ -92,29 +104,39 @@ class QueryEngine:
 
     def ensure_solved(self, graph: WeightedDigraph) -> ClosureArtifact:
         """The graph's closure artifact, solving at most once per content."""
-        job = self.engine.submit(graph)
-        if job.artifact is not None:  # cache hit: complete, not in the ledger
-            return job.artifact
-        return self.engine.result(job.job_id)
+        with telemetry.span("queries.ensure_solved") as span:
+            job = self.engine.submit(graph)
+            if job.artifact is not None:  # cache hit: complete, not in the ledger
+                span.set("cache_hit", job.cache_hit)
+                return job.artifact
+            span.set("cache_hit", False)
+            return self.engine.result(job.job_id)
 
     # -- point queries -------------------------------------------------------
 
     def dist(self, graph: WeightedDigraph, u: int, v: int) -> float:
         """Shortest-path distance ``u → v`` (``inf`` when unreachable)."""
+        started = time.perf_counter()
         artifact = self.ensure_solved(graph)
         self._check_endpoint(artifact, u)
         self._check_endpoint(artifact, v)
+        _observe_query("dist", started)
         return float(artifact.distances[u, v])
 
     def path(self, graph: WeightedDigraph, u: int, v: int) -> Optional[list[int]]:
         """Vertex sequence of a shortest ``u → v`` path (``None`` when
         unreachable)."""
+        started = time.perf_counter()
         artifact = self.ensure_solved(graph)
-        return reconstruct_path(artifact.successors, u, v)
+        result = reconstruct_path(artifact.successors, u, v)
+        _observe_query("path", started)
+        return result
 
     def diameter(self, graph: WeightedDigraph) -> float:
         """Largest pairwise distance (``inf`` when not strongly connected)."""
+        started = time.perf_counter()
         artifact = self.ensure_solved(graph)
+        _observe_query("diameter", started)
         return float(artifact.distances.max())
 
     def has_negative_cycle(self, graph: WeightedDigraph) -> bool:
@@ -144,6 +166,23 @@ class QueryEngine:
         """
         if not requests:
             return []
+        started = time.perf_counter()
+        with telemetry.span("queries.batch", requests=len(requests)):
+            results = self._query_batch(graph, requests)
+        collector = telemetry.active()
+        if collector is not None:
+            elapsed = time.perf_counter() - started
+            metrics = collector.metrics
+            metrics.inc("queries.total", len(requests))
+            metrics.inc("queries.batches")
+            # Per-query latency inside a batch is the amortized share.
+            for _ in range(len(requests)):
+                metrics.observe("queries.latency_seconds", elapsed / len(requests))
+        return results
+
+    def _query_batch(
+        self, graph: WeightedDigraph, requests: Sequence[QueryRequest]
+    ) -> list[QueryResult]:
         if any(req.kind == "negative-cycle" for req in requests):
             if self.has_negative_cycle(graph):
                 return [

@@ -29,6 +29,7 @@ from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
 
+from repro import telemetry
 from repro.baselines.bellman_ford_distributed import bellman_ford_distributed
 from repro.baselines.censor_hillel import CensorHillelAPSP
 from repro.baselines.classical_search import GroverFreeFindEdges
@@ -37,6 +38,7 @@ from repro.core.apsp_solver import QuantumAPSP
 from repro.core.constants import PaperConstants
 from repro.core.find_edges import QuantumFindEdges, ReferenceFindEdges
 from repro.graphs.digraph import WeightedDigraph
+from repro.util.rng import ensure_rng
 
 
 @dataclass(frozen=True)
@@ -106,6 +108,17 @@ def _hold_floor(started: float, options: SolveOptions) -> None:
         time.sleep(remaining)
 
 
+def _observe_solve(name: str, started: float, outcome: SolveOutcome) -> None:
+    """Record solve latency/round metrics when telemetry is enabled."""
+    collector = telemetry.active()
+    if collector is not None:
+        metrics = collector.metrics
+        metrics.inc("solver.solves")
+        metrics.inc(f"solver.{name}.solves")
+        metrics.observe("solver.solve_seconds", time.perf_counter() - started)
+        metrics.inc("solver.total_rounds", outcome.rounds)
+
+
 class PipelineSolver:
     """The Theorem-1 reduction pipeline with a chosen FindEdges backend."""
 
@@ -123,10 +136,14 @@ class PipelineSolver:
 
     def solve(self, graph: WeightedDigraph) -> SolveOutcome:
         started = time.perf_counter()
-        backend = self._backend_factory(self.options)
-        report = QuantumAPSP(backend=backend).solve(graph)
+        with telemetry.span(
+            "solver.solve", solver=self.name, n=graph.num_vertices
+        ) as span:
+            backend = self._backend_factory(self.options)
+            report = QuantumAPSP(backend=backend).solve(graph)
+            span.set("rounds", report.rounds)
         _hold_floor(started, self.options)
-        return SolveOutcome(
+        outcome = SolveOutcome(
             distances=report.distances,
             rounds=report.rounds,
             solver=self.name,
@@ -134,6 +151,8 @@ class PipelineSolver:
             find_edges_calls=report.find_edges_calls,
             details={"aborts": report.aborts},
         )
+        _observe_solve(self.name, started, outcome)
+        return outcome
 
 
 class BellmanFordSolver:
@@ -157,17 +176,20 @@ class BellmanFordSolver:
 
     def solve(self, graph: WeightedDigraph) -> SolveOutcome:
         started = time.perf_counter()
-        rng = np.random.default_rng(self.options.seed)
-        distances = np.empty((graph.num_vertices, graph.num_vertices))
-        rounds_per_source: list[float] = []
-        iterations = 0
-        for source in range(graph.num_vertices):
-            report = bellman_ford_distributed(graph, source, rng=rng)
-            distances[source] = report.distances
-            rounds_per_source.append(report.rounds)
-            iterations += report.iterations
+        with telemetry.span(
+            "solver.solve", solver=self.name, n=graph.num_vertices
+        ):
+            rng = ensure_rng(self.options.seed)
+            distances = np.empty((graph.num_vertices, graph.num_vertices))
+            rounds_per_source: list[float] = []
+            iterations = 0
+            for source in range(graph.num_vertices):
+                report = bellman_ford_distributed(graph, source, rng=rng)
+                distances[source] = report.distances
+                rounds_per_source.append(report.rounds)
+                iterations += report.iterations
         _hold_floor(started, self.options)
-        return SolveOutcome(
+        outcome = SolveOutcome(
             distances=distances,
             rounds=float(sum(rounds_per_source)),
             solver=self.name,
@@ -177,6 +199,8 @@ class BellmanFordSolver:
                 "rounds_per_source": rounds_per_source,
             },
         )
+        _observe_solve(self.name, started, outcome)
+        return outcome
 
 
 class CensorHillelSolver:
@@ -198,15 +222,21 @@ class CensorHillelSolver:
 
     def solve(self, graph: WeightedDigraph) -> SolveOutcome:
         started = time.perf_counter()
-        report = CensorHillelAPSP(rng=self.options.seed).solve(graph)
+        with telemetry.span(
+            "solver.solve", solver=self.name, n=graph.num_vertices
+        ) as span:
+            report = CensorHillelAPSP(rng=self.options.seed).solve(graph)
+            span.set("rounds", report.rounds)
         _hold_floor(started, self.options)
-        return SolveOutcome(
+        outcome = SolveOutcome(
             distances=report.distances,
             rounds=report.rounds,
             solver=self.name,
             squarings=report.squarings,
             details={"rounds_by_phase": report.ledger.snapshot()},
         )
+        _observe_solve(self.name, started, outcome)
+        return outcome
 
 
 class FloydWarshallSolver:
@@ -223,9 +253,14 @@ class FloydWarshallSolver:
 
     def solve(self, graph: WeightedDigraph) -> SolveOutcome:
         started = time.perf_counter()
-        distances = floyd_warshall(graph)
+        with telemetry.span(
+            "solver.solve", solver=self.name, n=graph.num_vertices
+        ):
+            distances = floyd_warshall(graph)
         _hold_floor(started, self.options)
-        return SolveOutcome(distances=distances, rounds=0.0, solver=self.name)
+        outcome = SolveOutcome(distances=distances, rounds=0.0, solver=self.name)
+        _observe_solve(self.name, started, outcome)
+        return outcome
 
 
 @dataclass(frozen=True)

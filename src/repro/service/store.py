@@ -22,6 +22,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro._version import __version__
 from repro.graphs.digraph import WeightedDigraph
 from repro.matrix.witness import successor_matrix
@@ -29,6 +30,13 @@ from repro.service.hashing import graph_digest
 from repro.service.solvers import SolveOutcome
 
 PathLike = Union[str, pathlib.Path]
+
+
+def _count(name: str) -> None:
+    """Mirror a :class:`StoreStats` bump into telemetry when enabled."""
+    collector = telemetry.active()
+    if collector is not None:
+        collector.metrics.inc(name)
 
 
 def artifact_key(digest: str, solver: str) -> str:
@@ -133,14 +141,18 @@ class ResultStore:
         if entry is not None:
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            _count("store.hits")
             return entry
         entry = self._load_from_disk(key)
         if entry is not None:
             self.stats.hits += 1
             self.stats.disk_loads += 1
+            _count("store.hits")
+            _count("store.disk_loads")
             self._insert(entry)
             return entry
         self.stats.misses += 1
+        _count("store.misses")
         return None
 
     def put(self, artifact: ClosureArtifact) -> None:
@@ -166,6 +178,7 @@ class ResultStore:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            _count("store.evictions")
 
     # -- persistence ---------------------------------------------------------
 

@@ -1,0 +1,42 @@
+"""Bridge from the CONGEST tracer to the telemetry collector.
+
+:class:`CollectorTracer` **is a** :class:`~repro.congest.trace.Tracer` — it
+keeps the full per-event trace (so ``summary()``, ``imbalance()`` and every
+existing analysis keep working) and additionally forwards each record into
+a :class:`~repro.telemetry.collector.TelemetryCollector`'s per-phase
+congest ledger.  Because it only *observes* the same ``record()`` calls the
+plain tracer gets, attaching it cannot change round charges: the router
+computes loads and rounds before the tracer is consulted.
+
+This module imports :mod:`repro.congest.trace` and therefore must only be
+imported lazily from the rest of the telemetry package (the congest layer
+itself imports :mod:`repro.util.rng`, which imports telemetry).
+"""
+
+from __future__ import annotations
+
+from repro.congest.trace import Tracer
+
+
+class CollectorTracer(Tracer):
+    """A tracer that mirrors every record into a telemetry collector."""
+
+    def __init__(self, num_nodes: int, collector) -> None:
+        super().__init__(num_nodes)
+        self.collector = collector
+
+    def record(
+        self,
+        phase: str,
+        kind: str,
+        num_messages: int,
+        total_words: int,
+        max_src_load: int,
+        max_dst_load: int,
+        rounds: float,
+    ) -> None:
+        super().record(
+            phase, kind, num_messages, total_words,
+            max_src_load, max_dst_load, rounds,
+        )
+        self.collector.record_congest(phase, kind, num_messages, total_words, rounds)

@@ -1,0 +1,158 @@
+"""The telemetry collector: one object owning spans, metrics, and ledgers.
+
+A :class:`TelemetryCollector` is what :func:`repro.telemetry.install` puts
+in the process-wide slot.  It owns
+
+* the closed-span list and the per-thread open-span stacks
+  (:mod:`repro.telemetry.spans`);
+* a :class:`~repro.telemetry.metrics.MetricsRegistry`;
+* the RNG-draw totals fed by :class:`~repro.telemetry.rngcount.CountingGenerator`
+  instances it hands out;
+* the per-phase CONGEST ledger (rounds / words / messages) bridged from
+  :class:`~repro.congest.trace.Tracer` records via
+  :meth:`TelemetryCollector.tracer`.
+
+``snapshot()`` renders everything as plain dicts under the versioned
+``repro.telemetry/v1`` schema; nothing in the snapshot references live
+objects, so it can be json-dumped verbatim (the CLI's ``--trace``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Hashable, Optional
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.rngcount import CountingGenerator, counting_generator
+from repro.telemetry.spans import Span, SpanRecord, new_id_counter
+
+#: Snapshot schema identifier and version — bump together when the shape
+#: of ``snapshot()`` changes incompatibly.
+SCHEMA = "repro.telemetry/v1"
+TELEMETRY_VERSION = 1
+
+
+class TelemetryCollector:
+    """Process-local telemetry sink (spans + metrics + RNG + congest)."""
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.records: list[SpanRecord] = []
+        self.rng_calls = 0
+        self.rng_draws = 0
+        self.unattributed_rng_calls = 0
+        self.unattributed_rng_draws = 0
+        self.congest: dict[str, dict] = {}
+        self._ids = new_id_counter(1)
+        self._local = threading.local()
+        self._epoch = time.perf_counter()
+
+    # -- spans -------------------------------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _record_span(self, record: SpanRecord) -> None:
+        self.records.append(record)  # list.append is GIL-atomic
+
+    def span(self, name: str, attrs: Optional[dict] = None) -> Span:
+        """A new (unopened) span; use as a context manager."""
+        return Span(self, name, attrs)
+
+    def current_span(self) -> Optional[Span]:
+        """The calling thread's innermost open span, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @property
+    def open_spans(self) -> int:
+        """Open spans on the *calling* thread (snapshot diagnostics)."""
+        return len(self._stack())
+
+    # -- RNG accounting ----------------------------------------------------
+
+    def record_draws(self, calls: int, draws: int) -> None:
+        """Charge ``calls`` generator calls / ``draws`` variates to the
+        calling thread's innermost open span (or the unattributed bucket)."""
+        self.rng_calls += calls
+        self.rng_draws += draws
+        stack = self._stack()
+        if stack:
+            span = stack[-1]
+            span.rng_calls += calls
+            span.rng_draws += draws
+        else:
+            self.unattributed_rng_calls += calls
+            self.unattributed_rng_draws += draws
+
+    def counting_generator(self, seed: Optional[int] = None) -> CountingGenerator:
+        """A stream-identical counting generator reporting to this collector."""
+        return counting_generator(seed, self)
+
+    # -- CONGEST bridge ----------------------------------------------------
+
+    def tracer(self, num_nodes: int):
+        """A :class:`~repro.telemetry.bridge.CollectorTracer` for one network.
+
+        Protocol code attaches it where it creates a
+        :class:`~repro.congest.network.CongestClique`; every routed batch
+        then lands both in the tracer's own event list and in this
+        collector's per-phase congest ledger.
+        """
+        from repro.telemetry.bridge import CollectorTracer
+
+        return CollectorTracer(num_nodes, self)
+
+    def attach(self, network) -> None:
+        """Attach a bridged tracer to ``network`` unless one is present."""
+        if network.tracer is None:
+            network.tracer = self.tracer(network.num_nodes)
+
+    def record_congest(
+        self,
+        phase: Hashable,
+        kind: str,
+        num_messages: int,
+        total_words: int,
+        rounds: float,
+    ) -> None:
+        entry = self.congest.get(phase)
+        if entry is None:
+            entry = {"batches": 0, "messages": 0, "words": 0, "rounds": 0.0}
+            self.congest[phase] = entry
+        entry["batches"] += 1
+        entry["messages"] += num_messages
+        entry["words"] += total_words
+        entry["rounds"] += rounds
+        metrics = self.metrics
+        metrics.inc("congest.batches")
+        metrics.inc("congest.total_words", total_words)
+        metrics.inc("congest.total_rounds", rounds)
+        if kind == "broadcast":
+            metrics.inc("congest.broadcasts")
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The whole collector as plain dicts (versioned, json-safe)."""
+        return {
+            "schema": SCHEMA,
+            "version": TELEMETRY_VERSION,
+            "spans": [record.as_dict() for record in self.records],
+            "open_spans": self.open_spans,
+            "metrics": self.metrics.snapshot(),
+            "rng": {
+                "calls": self.rng_calls,
+                "draws": self.rng_draws,
+                "unattributed_calls": self.unattributed_rng_calls,
+                "unattributed_draws": self.unattributed_rng_draws,
+            },
+            "congest": {
+                str(phase): dict(entry) for phase, entry in self.congest.items()
+            },
+        }

@@ -1,0 +1,189 @@
+"""Rollups, consistency checks, and rendering over telemetry snapshots.
+
+Everything here consumes the *plain-dict* snapshot produced by
+:meth:`~repro.telemetry.collector.TelemetryCollector.snapshot` (or loaded
+back from a ``--trace`` JSON file), never live collector objects — so the
+same code serves the in-process CLI ``--verbose`` summaries and the
+offline ``repro stats`` reader.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.errors import TelemetryError
+
+#: Relative slack for float comparisons in the consistency checks.
+_REL_EPS = 1e-6
+_ABS_EPS = 1e-9
+
+
+def validate_snapshot(data: dict) -> dict:
+    """Check ``data`` is a v1 telemetry snapshot; return it unchanged."""
+    if not isinstance(data, dict):
+        raise TelemetryError("telemetry snapshot must be a JSON object")
+    schema = data.get("schema")
+    if schema != "repro.telemetry/v1":
+        raise TelemetryError(f"unknown telemetry schema {schema!r}")
+    for key in ("spans", "metrics", "rng", "congest"):
+        if key not in data:
+            raise TelemetryError(f"telemetry snapshot missing {key!r}")
+    return data
+
+
+def load_snapshot(path) -> dict:
+    """Read and validate a ``--trace`` JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return validate_snapshot(json.load(handle))
+
+
+def rollup(snapshot: dict) -> dict[str, dict]:
+    """Aggregate spans by name.
+
+    Returns ``{name: {count, wall_seconds, self_seconds, rng_calls,
+    rng_draws}}`` where ``self_seconds`` excludes time attributed to
+    direct children (so summing it over all names approximates total
+    instrumented wall time without double counting).
+    """
+    out: dict[str, dict] = {}
+    for span in snapshot["spans"]:
+        entry = out.get(span["name"])
+        if entry is None:
+            entry = {
+                "count": 0,
+                "wall_seconds": 0.0,
+                "self_seconds": 0.0,
+                "rng_calls": 0,
+                "rng_draws": 0,
+            }
+            out[span["name"]] = entry
+        entry["count"] += 1
+        entry["wall_seconds"] += span["duration_s"]
+        entry["self_seconds"] += max(0.0, span["duration_s"] - span["children_s"])
+        entry["rng_calls"] += span["rng_calls"]
+        entry["rng_draws"] += span["rng_draws"]
+    return out
+
+
+def phase_breakdown(snapshot: dict) -> dict:
+    """The compact per-phase record benchmarks attach to result rows.
+
+    Shape (validated by ``tools/bench_summary.py --check``)::
+
+        {"schema": "repro.telemetry/v1",
+         "phases": {name: {count, wall_seconds, self_seconds,
+                           rng_calls, rng_draws}},
+         "rng": {"calls": ..., "draws": ...},
+         "congest": {phase: {"rounds": ..., "words": ...}}}
+    """
+    return {
+        "schema": snapshot["schema"],
+        "phases": rollup(snapshot),
+        "rng": {
+            "calls": snapshot["rng"]["calls"],
+            "draws": snapshot["rng"]["draws"],
+        },
+        "congest": {
+            phase: {"rounds": entry["rounds"], "words": entry["words"]}
+            for phase, entry in snapshot["congest"].items()
+        },
+    }
+
+
+def consistency_problems(snapshot: dict) -> list[str]:
+    """Internal-consistency violations of a snapshot (empty list == good).
+
+    Checks the invariants ``repro stats`` enforces (exit 1 on violation):
+
+    * every span's ``children_s`` fits inside its ``duration_s``;
+    * every non-null ``parent_id`` references a recorded span;
+    * per-span RNG charges plus the unattributed bucket equal the
+      collector totals;
+    * no span was left open when the snapshot was taken.
+    """
+    problems: list[str] = []
+    spans = snapshot["spans"]
+    ids = {span["span_id"] for span in spans}
+    span_rng_calls = 0
+    span_rng_draws = 0
+    for span in spans:
+        slack = _ABS_EPS + _REL_EPS * span["duration_s"]
+        if span["children_s"] > span["duration_s"] + slack:
+            problems.append(
+                f"span {span['span_id']} ({span['name']}): children_s "
+                f"{span['children_s']:.9f} exceeds duration_s "
+                f"{span['duration_s']:.9f}"
+            )
+        parent = span["parent_id"]
+        if parent is not None and parent not in ids:
+            problems.append(
+                f"span {span['span_id']} ({span['name']}): dangling "
+                f"parent_id {parent}"
+            )
+        span_rng_calls += span["rng_calls"]
+        span_rng_draws += span["rng_draws"]
+    rng = snapshot["rng"]
+    if span_rng_calls + rng["unattributed_calls"] != rng["calls"]:
+        problems.append(
+            f"rng calls: spans {span_rng_calls} + unattributed "
+            f"{rng['unattributed_calls']} != total {rng['calls']}"
+        )
+    if span_rng_draws + rng["unattributed_draws"] != rng["draws"]:
+        problems.append(
+            f"rng draws: spans {span_rng_draws} + unattributed "
+            f"{rng['unattributed_draws']} != total {rng['draws']}"
+        )
+    if snapshot.get("open_spans"):
+        problems.append(f"{snapshot['open_spans']} span(s) still open")
+    return problems
+
+
+def format_snapshot(snapshot: dict, title: Optional[str] = None) -> str:
+    """Human-readable rollup table (the ``repro stats`` default view)."""
+    from repro.analysis.report import format_table
+
+    agg = rollup(snapshot)
+    rows = [
+        [
+            name,
+            entry["count"],
+            f"{entry['wall_seconds']:.4f}",
+            f"{entry['self_seconds']:.4f}",
+            entry["rng_calls"],
+            entry["rng_draws"],
+        ]
+        for name, entry in sorted(agg.items())
+    ]
+    lines = [
+        format_table(
+            ["span", "count", "wall s", "self s", "rng calls", "rng draws"],
+            rows,
+            title=title or "telemetry spans",
+        )
+    ]
+    rng = snapshot["rng"]
+    lines.append(
+        f"rng: {rng['calls']} calls / {rng['draws']} draws "
+        f"({rng['unattributed_calls']} calls unattributed)"
+    )
+    congest = snapshot["congest"]
+    if congest:
+        congest_rows = [
+            [
+                phase,
+                entry["batches"],
+                entry["messages"],
+                entry["words"],
+                f"{entry['rounds']:.2f}",
+            ]
+            for phase, entry in congest.items()
+        ]
+        lines.append(
+            format_table(
+                ["phase", "batches", "messages", "words", "rounds"],
+                congest_rows,
+                title="congest phases",
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""Phase-scoped spans: a nestable wall-time tree.
+
+A :class:`Span` is a context manager opened around one phase of work
+(``with telemetry.span("compute_pairs.step2"): ...``).  Spans nest — each
+thread keeps its own open-span stack on the collector — and every closed
+span becomes an immutable :class:`SpanRecord` carrying monotonic wall time
+(:func:`time.perf_counter`), the parent link, the opening thread and
+process, free-form attributes, and the RNG draws charged while the span was
+the innermost open span on its thread.
+
+Span ids are unique across threads and processes by construction:
+``<pid>-<thread>-<seq>`` with the sequence drawn from one collector-wide
+counter (``itertools.count``, atomic under the GIL).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed span.
+
+    ``start_s`` is relative to the owning collector's epoch (both are
+    :func:`time.perf_counter` readings, so differences are meaningful
+    within one process; absolute values are not).  ``children_s`` is the
+    summed duration of *direct* children, so the span's exclusive (self)
+    time is ``duration_s - children_s``.  ``rng_calls``/``rng_draws``
+    count the generator calls and variates consumed while this span was
+    innermost on its thread (see :mod:`repro.telemetry.rngcount`).
+    """
+
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    start_s: float
+    duration_s: float
+    children_s: float
+    pid: int
+    thread_id: int
+    attrs: dict = field(default_factory=dict)
+    rng_calls: int = 0
+    rng_draws: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (the ``telemetry.snapshot()`` span schema)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "children_s": self.children_s,
+            "pid": self.pid,
+            "thread_id": self.thread_id,
+            "attrs": dict(self.attrs),
+            "rng_calls": self.rng_calls,
+            "rng_draws": self.rng_draws,
+        }
+
+
+class Span:
+    """A live (open) span.  Use as a context manager; re-entry is an error.
+
+    Attributes may be added while open via :meth:`set`; they land on the
+    closed :class:`SpanRecord` verbatim.
+    """
+
+    __slots__ = (
+        "_collector", "name", "attrs", "span_id", "parent_id",
+        "_start", "children_s", "rng_calls", "rng_draws", "_open",
+    )
+
+    def __init__(self, collector, name: str, attrs: Optional[dict] = None) -> None:
+        self._collector = collector
+        self.name = name
+        self.attrs = dict(attrs) if attrs else {}
+        self.span_id = ""
+        self.parent_id: Optional[str] = None
+        self._start = 0.0
+        self.children_s = 0.0
+        self.rng_calls = 0
+        self.rng_draws = 0
+        self._open = False
+
+    def set(self, key: str, value: Any) -> "Span":
+        """Attach one attribute; returns the span for chaining."""
+        self.attrs[key] = value
+        return self
+
+    def __enter__(self) -> "Span":
+        if self._open:
+            raise RuntimeError(f"span {self.name!r} is already open")
+        self._open = True
+        collector = self._collector
+        stack = collector._stack()
+        self.parent_id = stack[-1].span_id if stack else None
+        self.span_id = (
+            f"{os.getpid():x}-{threading.get_ident():x}-{next(collector._ids)}"
+        )
+        stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._start
+        self._open = False
+        collector = self._collector
+        stack = collector._stack()
+        # Tolerate a corrupted stack (a span closed out of order) rather
+        # than poisoning the instrumented code path.
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:
+            stack.remove(self)
+        if stack:
+            stack[-1].children_s += duration
+        collector._record_span(
+            SpanRecord(
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                name=self.name,
+                start_s=self._start - collector._epoch,
+                duration_s=duration,
+                children_s=self.children_s,
+                pid=os.getpid(),
+                thread_id=threading.get_ident(),
+                attrs=self.attrs,
+                rng_calls=self.rng_calls,
+                rng_draws=self.rng_draws,
+            )
+        )
+        return False
+
+
+class NoopSpan:
+    """The shared do-nothing span returned while no collector is installed.
+
+    Stateless (and therefore reentrant and thread-safe); supports the same
+    surface as :class:`Span` so instrumented sites never branch beyond the
+    one collector attribute check.
+    """
+
+    __slots__ = ()
+
+    def set(self, key: str, value: Any) -> "NoopSpan":
+        return self
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: The singleton no-op span (one object for the whole process).
+NOOP_SPAN = NoopSpan()
+
+#: Shared id sequence seed helper (collectors each own their counter).
+new_id_counter = itertools.count

@@ -5,6 +5,15 @@ be ``None`` (fresh entropy), an integer seed, or an existing
 :class:`numpy.random.Generator`.  Using a single convention everywhere makes
 experiments reproducible end to end: the benchmark harness seeds one
 generator and threads it through the whole stack.
+
+When a telemetry collector is installed (:mod:`repro.telemetry`), the
+generators built here are :class:`~repro.telemetry.rngcount.CountingGenerator`
+instances instead of plain ones.  They are **stream-identical** — a counting
+generator over the same seed produces byte-for-byte the same variates as
+``np.random.default_rng(seed)`` — but report each draw to the collector,
+which charges it to the innermost open span.  Generators passed in from
+outside are returned as-is (wrapping them would change object identity and
+double-count draws of already-counting parents).
 """
 
 from __future__ import annotations
@@ -13,7 +22,17 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro import telemetry as _telemetry
+
 RngLike = Union[None, int, np.random.Generator]
+
+
+def _new_generator(seed: Optional[int]) -> np.random.Generator:
+    """A fresh generator for ``seed`` — counting iff telemetry is active."""
+    collector = _telemetry.active()
+    if collector is None:
+        return np.random.default_rng(seed)
+    return collector.counting_generator(seed)
 
 
 def ensure_rng(rng: RngLike = None) -> np.random.Generator:
@@ -23,11 +42,11 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     generator deterministically; an existing generator is returned as-is.
     """
     if rng is None:
-        return np.random.default_rng()
+        return _new_generator(None)
     if isinstance(rng, np.random.Generator):
         return rng
     if isinstance(rng, (int, np.integer)):
-        return np.random.default_rng(int(rng))
+        return _new_generator(int(rng))
     raise TypeError(f"cannot build a Generator from {type(rng).__name__}")
 
 
@@ -39,4 +58,17 @@ def spawn_rng(rng: np.random.Generator) -> np.random.Generator:
     node's choices).
     """
     seed = int(rng.integers(0, 2**63 - 1))
-    return np.random.default_rng(seed)
+    return _new_generator(seed)
+
+
+def materialize_rng(value) -> np.random.Generator:
+    """Turn a lazily stored seed-or-generator into a generator.
+
+    Components that defer generator construction (per-node and per-lane
+    randomness) store the raw ``None | int | Generator`` value and call this
+    at first use, so the decision to count draws is made when the stream is
+    actually materialized — under whatever collector is installed *then*.
+    """
+    if isinstance(value, np.random.Generator):
+        return value
+    return _new_generator(None if value is None else int(value))

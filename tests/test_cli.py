@@ -206,6 +206,91 @@ class TestServiceCommands:
         assert "NegativeCycleError" in out
 
 
+class TestTelemetryCli:
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        graph = repro.random_digraph_no_negative_cycle(10, density=0.5, rng=8)
+        path = tmp_path / "g.npz"
+        graph_io.save_npz(graph, path)
+        return graph, path
+
+    def test_query_trace_roundtrips_through_stats(
+        self, graph_file, tmp_path, capsys
+    ):
+        _, path = graph_file
+        trace = tmp_path / "trace.json"
+        code = main(
+            ["query", "--graph", str(path), "--diameter", "--trace", str(trace)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"telemetry trace written to {trace}" in out
+        assert out.index("diameter:") < out.index("telemetry trace")
+
+        import json
+
+        snapshot = json.loads(trace.read_text())
+        assert snapshot["schema"] == "repro.telemetry/v1"
+        span_names = {span["name"] for span in snapshot["spans"]}
+        assert "solver.solve" in span_names
+        assert "queries.ensure_solved" in span_names
+
+        assert main(["stats", str(trace)]) == 0
+        stats_out = capsys.readouterr().out
+        assert "solver.solve" in stats_out
+        assert "rng:" in stats_out
+
+    def test_stats_json_prints_phase_breakdown(self, graph_file, tmp_path, capsys):
+        _, path = graph_file
+        trace = tmp_path / "trace.json"
+        assert main(
+            ["query", "--graph", str(path), "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["stats", str(trace), "--json"]) == 0
+
+        import json
+
+        breakdown = json.loads(capsys.readouterr().out)
+        assert breakdown["schema"] == "repro.telemetry/v1"
+        assert "solver.solve" in breakdown["phases"]
+
+    def test_stats_rejects_missing_and_invalid_files(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such trace file"):
+            main(["stats", str(tmp_path / "absent.json")])
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "other/v9"}')
+        with pytest.raises(SystemExit, match="not a telemetry trace"):
+            main(["stats", str(bad)])
+
+    def test_query_verbose_summary_line(self, graph_file, capsys):
+        _, path = graph_file
+        code = main(["query", "--graph", str(path), "--diameter", "--verbose"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "telemetry: store hits=0 misses=1" in out
+        assert "rng draws=" in out
+
+    def test_serve_batch_verbose_shows_wait_and_run(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        code = main(
+            ["serve-batch", "--count", "2", "--n", "8",
+             "--solver", "floyd-warshall", "--verbose", "--trace", str(trace)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("wait=") == 2
+        assert out.count("run=") == 2
+        assert "telemetry:" in out
+        assert trace.exists()
+
+    def test_no_flags_means_no_telemetry_output(self, graph_file, capsys):
+        _, path = graph_file
+        assert main(["query", "--graph", str(path), "--diameter"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry" not in out
+
+
 def test_module_entry_point():
     result = subprocess.run(
         [sys.executable, "-m", "repro", "model", "--min-exp", "4", "--max-exp", "8"],

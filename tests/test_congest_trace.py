@@ -1,8 +1,11 @@
 """Tests for the protocol tracer."""
 
+import numpy as np
 import pytest
 
 import repro
+from repro import telemetry
+from repro.baselines.bellman_ford_distributed import bellman_ford_distributed
 from repro.congest.message import Message
 from repro.congest.network import CongestClique
 from repro.congest.trace import Tracer
@@ -72,6 +75,76 @@ class TestTracerMechanics:
         text = net.tracer.summary()
         assert "phase_x" in text
         assert "rounds" in text
+
+
+class TestBroadcastVolumeTracing:
+    """The payload-elided broadcast path must trace like broadcast_all."""
+
+    def test_elided_broadcast_records_event(self):
+        net = CongestClique(4, rng=0)
+        net.tracer = Tracer(4)
+        # Nodes 0 and 2 broadcast 2 and 5 words: rounds = max per node.
+        rounds = net.broadcast_volume(
+            np.array([0, 2]), np.array([2, 5]), "elided"
+        )
+        assert rounds == 5.0
+        event = net.tracer.events[0]
+        assert event.kind == "broadcast"
+        assert event.num_messages == 2 * 4
+        assert event.total_words == 7 * 4  # every node receives everything
+        assert event.max_src_load == 5
+        assert event.max_dst_load == 7
+        assert event.rounds == 5.0
+
+    def test_elided_matches_broadcast_all_trace(self):
+        # Same logical broadcast through both entry points: the traced
+        # volumes and round charges must agree (only inbox delivery and
+        # label-vs-position addressing differ).
+        payloads = {0: ("a", 3), 1: ("b", 1), 3: ("c", 4)}
+        full = CongestClique(4, rng=0)
+        full.tracer = Tracer(4)
+        full.broadcast_all(payloads, "bcast")
+        elided = CongestClique(4, rng=0)
+        elided.tracer = Tracer(4)
+        elided.broadcast_volume(
+            np.array([0, 1, 3]), np.array([3, 1, 4]), "bcast"
+        )
+        a, b = full.tracer.events[0], elided.tracer.events[0]
+        assert (a.total_words, a.max_src_load, a.max_dst_load, a.rounds) == (
+            b.total_words, b.max_src_load, b.max_dst_load, b.rounds
+        )
+        assert full.ledger.snapshot() == elided.ledger.snapshot()
+
+    def test_untraced_elided_broadcast_charges_identically(self):
+        traced = CongestClique(4, rng=0)
+        traced.tracer = Tracer(4)
+        plain = CongestClique(4, rng=0)
+        positions, sizes = np.array([0, 1, 2]), np.array([1, 2, 3])
+        assert traced.broadcast_volume(
+            positions, sizes, "p"
+        ) == plain.broadcast_volume(positions, sizes, "p")
+        assert traced.ledger.snapshot() == plain.ledger.snapshot()
+
+
+class TestTracerAttachedVsDetached:
+    """A telemetry collector (bridged tracer) must never move a round."""
+
+    @pytest.mark.parametrize("n", [16, 48])
+    def test_bellman_ford_rounds_byte_identical(self, n):
+        graph = repro.random_digraph_no_negative_cycle(n, density=0.3, rng=21)
+        detached = bellman_ford_distributed(graph, source=0, rng=5)
+        with telemetry.collect() as collector:
+            attached = bellman_ford_distributed(graph, source=0, rng=5)
+        assert attached.rounds == detached.rounds
+        assert attached.iterations == detached.iterations
+        assert attached.distances.tolist() == detached.distances.tolist()
+        assert attached.ledger.snapshot() == detached.ledger.snapshot()
+        # The bridge saw exactly the ledger's phases (all traffic here is
+        # broadcast_volume, the payload-elided path).
+        bridged = {
+            phase: entry["rounds"] for phase, entry in collector.congest.items()
+        }
+        assert bridged == dict(detached.ledger.snapshot())
 
 
 class TestTracerOnRealProtocol:

@@ -193,6 +193,46 @@ class TestParallelExecution:
         assert second.solver_invocations == 0
 
 
+class TestJobTiming:
+    def test_queue_wait_and_run_time_split(self):
+        engine = JobEngine(solver="floyd-warshall")
+        job = engine.submit(repro.random_digraph_no_negative_cycle(10, rng=6))
+        assert job.submitted_s > 0.0
+        assert job.queue_wait_s == 0.0  # not dispatched yet
+        engine.run(job.job_id)
+        assert job.queue_wait_s > 0.0  # submit-to-dispatch gap
+        assert job.duration_s > 0.0  # worker-side solve time
+        listed = {j.job_id: j for j in engine.jobs()}[job.job_id]
+        assert listed.queue_wait_s == job.queue_wait_s
+
+    def test_cache_hit_never_queues(self):
+        engine = JobEngine(solver="floyd-warshall")
+        graph = repro.random_digraph_no_negative_cycle(10, rng=7)
+        engine.submit(graph)
+        engine.run_pending()
+        hit = engine.submit(repro.WeightedDigraph(graph.weights.copy()))
+        assert hit.cache_hit is True
+        assert hit.queue_wait_s == 0.0
+        assert hit.duration_s == 0.0
+
+    def test_wait_reflects_time_spent_pending(self):
+        import time
+
+        engine = JobEngine(solver="floyd-warshall")
+        job = engine.submit(repro.random_digraph_no_negative_cycle(8, rng=9))
+        time.sleep(0.05)
+        engine.run(job.job_id)
+        assert job.queue_wait_s >= 0.05
+
+    def test_parallel_jobs_record_waits(self):
+        engine = JobEngine(solver="floyd-warshall")
+        for seed in range(3):
+            engine.submit(repro.random_digraph_no_negative_cycle(8, rng=seed))
+        jobs = engine.run_pending_parallel(max_workers=2)
+        assert all(job.queue_wait_s > 0.0 for job in jobs)
+        assert all(job.duration_s > 0.0 for job in jobs)
+
+
 class TestReviewRegressions:
     def test_cache_key_includes_solver(self):
         """A closure computed by one solver must not answer for another."""

@@ -22,10 +22,11 @@ Usage::
 ``--check`` validates instead of (only) writing: every record must carry a
 non-empty ``commit`` and a numeric ``wall_seconds``, experiment ids across
 ``benchmarks/test_eN_*.py`` must be unique (two files once both claimed
-e12), and the committed summary's trajectory must already contain the
-current records — so half-filled result rows, id collisions, and a stale
-``BENCH_SUMMARY.json`` all fail CI instead of silently polluting the
-cross-PR trajectory.
+e12), any ``phase_breakdown`` column must match the ``repro.telemetry/v1``
+schema, and the committed summary's trajectory must already contain the
+current records — so half-filled result rows, id collisions, malformed
+telemetry columns, and a stale ``BENCH_SUMMARY.json`` all fail CI instead
+of silently polluting the cross-PR trajectory.
 """
 
 from __future__ import annotations
@@ -41,6 +42,82 @@ RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
 BENCH_DIR = REPO_ROOT / "benchmarks"
 
 _EXPERIMENT_FILE = re.compile(r"test_e(\d+)[a-z]?_")
+
+#: The telemetry snapshot schema ``phase_breakdown`` columns must carry
+#: (see ``repro.telemetry.report.phase_breakdown``).
+_BREAKDOWN_SCHEMA = "repro.telemetry/v1"
+_PHASE_NUMERIC_KEYS = ("count", "wall_seconds", "self_seconds", "rng_calls", "rng_draws")
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def breakdown_problems(where: str, breakdown) -> list[str]:
+    """Schema violations of one record's ``phase_breakdown`` column."""
+    if not isinstance(breakdown, dict):
+        return [f"{where}: phase_breakdown is not an object"]
+    problems: list[str] = []
+    schema = breakdown.get("schema")
+    if schema != _BREAKDOWN_SCHEMA:
+        problems.append(
+            f"{where}: phase_breakdown schema {schema!r} != {_BREAKDOWN_SCHEMA!r}"
+        )
+    phases = breakdown.get("phases")
+    if not isinstance(phases, dict):
+        problems.append(f"{where}: phase_breakdown.phases is not an object")
+    else:
+        for name, entry in sorted(phases.items()):
+            if not isinstance(entry, dict):
+                problems.append(f"{where}: phase {name!r} is not an object")
+                continue
+            for key in _PHASE_NUMERIC_KEYS:
+                if not _is_number(entry.get(key)):
+                    problems.append(
+                        f"{where}: phase {name!r} missing numeric {key!r}"
+                    )
+    rng = breakdown.get("rng")
+    if not isinstance(rng, dict) or not all(
+        _is_number(rng.get(key)) for key in ("calls", "draws")
+    ):
+        problems.append(f"{where}: phase_breakdown.rng missing calls/draws")
+    congest = breakdown.get("congest")
+    if not isinstance(congest, dict):
+        problems.append(f"{where}: phase_breakdown.congest is not an object")
+    else:
+        for phase, entry in sorted(congest.items()):
+            if not isinstance(entry, dict) or not all(
+                _is_number(entry.get(key)) for key in ("rounds", "words")
+            ):
+                problems.append(
+                    f"{where}: congest phase {phase!r} missing rounds/words"
+                )
+    return problems
+
+
+def phase_rollup(experiments: dict[str, list]) -> dict:
+    """Per-experiment telemetry phases: ``{experiment: {phase: wall_seconds}}``.
+
+    Every record of one results file shares the test-wide breakdown (the
+    benchmark conftest snapshots one collector per test), so the first
+    record carrying one represents the run.
+    """
+    rollup: dict[str, dict] = {}
+    for experiment, records in sorted(experiments.items()):
+        for record in records:
+            if not isinstance(record, dict):
+                continue
+            breakdown = record.get("phase_breakdown")
+            if isinstance(breakdown, dict) and isinstance(
+                breakdown.get("phases"), dict
+            ):
+                rollup[experiment] = {
+                    name: entry.get("wall_seconds")
+                    for name, entry in sorted(breakdown["phases"].items())
+                    if isinstance(entry, dict)
+                }
+                break
+    return rollup
 
 
 def experiment_id_collisions(bench_dir: pathlib.Path) -> list[str]:
@@ -154,6 +231,7 @@ def collect(
         "num_experiments": len(experiments),
         "num_records": sum(len(records) for records in experiments.values()),
         "trajectory": trajectory,
+        "phase_rollup": phase_rollup(experiments),
     }
 
 
@@ -179,6 +257,10 @@ def check(summary: dict, committed: dict | None = None) -> list[str]:
             wall = record.get("wall_seconds")
             if not isinstance(wall, (int, float)) or isinstance(wall, bool):
                 problems.append(f"{where}: missing wall_seconds")
+            if "phase_breakdown" in record:
+                problems.extend(
+                    breakdown_problems(where, record["phase_breakdown"])
+                )
     for index, row in enumerate(summary.get("trajectory", [])):
         where = f"trajectory row {index}"
         if not isinstance(row, dict):
