@@ -59,12 +59,16 @@ def _save_graph(graph, path: str) -> None:
     graph_io.save_graph(graph, path)
 
 
-def _make_backend(name: str, scale: float, seed: int):
+def _make_backend(name: str, scale: float, seed: int, rng_contract: str = "v2"):
     constants = repro.PaperConstants(scale=scale)
     if name == "quantum":
-        return repro.QuantumFindEdges(constants=constants, rng=seed)
+        return repro.QuantumFindEdges(
+            constants=constants, rng=seed, rng_contract=rng_contract
+        )
     if name == "classical":
-        return repro.GroverFreeFindEdges(constants=constants, rng=seed)
+        return repro.GroverFreeFindEdges(
+            constants=constants, rng=seed, rng_contract=rng_contract
+        )
     if name == "dolev":
         return repro.DolevFindEdges(rng=seed)
     if name == "reference":
@@ -81,7 +85,7 @@ def _cmd_apsp(args: argparse.Namespace) -> int:
         graph = repro.random_digraph_no_negative_cycle(
             args.n, density=args.density, max_weight=args.max_weight, rng=args.seed
         )
-    backend = _make_backend(args.backend, args.scale, args.seed)
+    backend = _make_backend(args.backend, args.scale, args.seed, args.rng_contract)
     report = repro.QuantumAPSP(backend=backend).solve(graph)
     truth = repro.floyd_warshall(graph)
     exact = np.array_equal(report.distances, truth)
@@ -106,7 +110,7 @@ def _cmd_find_edges(args: argparse.Namespace) -> int:
             args.n, density=args.density, max_weight=args.max_weight, rng=args.seed
         )
     instance = repro.FindEdgesInstance(graph)
-    backend = _make_backend(args.backend, args.scale, args.seed)
+    backend = _make_backend(args.backend, args.scale, args.seed, args.rng_contract)
     solution = backend.find_edges(instance)
     truth = instance.reference_solution()
     print(
@@ -302,7 +306,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
     with _maybe_collect(args) as collector:
         engine = QueryEngine(
             solver=args.solver,
-            options=SolveOptions(scale=args.scale, seed=args.seed),
+            options=SolveOptions(
+                scale=args.scale, seed=args.seed,
+                rng_contract=args.rng_contract,
+            ),
             store=_make_store(args),
         )
         try:
@@ -364,7 +371,10 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         engine = JobEngine(
             store=_make_store(args),
             solver=args.solver,
-            options=SolveOptions(scale=args.scale, seed=args.seed),
+            options=SolveOptions(
+                scale=args.scale, seed=args.seed,
+                rng_contract=args.rng_contract,
+            ),
         )
         jobs = [engine.submit(graph) for graph in graphs]
         if args.workers > 1:
@@ -429,6 +439,13 @@ def build_parser() -> argparse.ArgumentParser:
                 default=0.5,
                 help="constants scale knob (1.0 = the paper's constants)",
             )
+            p.add_argument(
+                "--rng-contract",
+                choices=["v1", "v2"],
+                default="v2",
+                help="RNG consumption contract (v2 = batched draws, "
+                "v1 = sequential reference streams)",
+            )
 
     p_apsp = sub.add_parser("apsp", help="solve all-pairs shortest paths")
     add_common(p_apsp)
@@ -465,6 +482,12 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--scale", type=float, default=0.5)
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--rng-contract",
+            choices=["v1", "v2"],
+            default="v2",
+            help="RNG consumption contract for contract-aware solvers",
+        )
         p.add_argument("--cache-dir", help="persist closures as .npz under this dir")
         p.add_argument(
             "--trace",

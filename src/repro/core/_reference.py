@@ -526,8 +526,11 @@ def _run_class_loops(
     )
     schedule = generator.integers(0, cap + 1, size=repetitions).tolist()
 
+    # The reference driver *is* the v1 consumption contract: per-label
+    # spawn_rng children, consumed lane by lane, byte-identical streams.
     batched = BatchedMultiSearch(
-        beta=beta, eval_rounds=eval_r, amplification=amplification
+        beta=beta, eval_rounds=eval_r, amplification=amplification,
+        rng_contract="v1",
     )
     lane_pairs: dict[tuple[int, int, int], np.ndarray] = {}
     for label, blocks in domains.items():

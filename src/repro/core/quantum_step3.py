@@ -159,6 +159,7 @@ def run_step3(
     rng=None,
     search_mode: str = "quantum",
     amplification: float = 12.0,
+    rng_contract: str = "v2",
 ) -> Step3Report:
     """Execute Step 3 and return the union of detected pairs.
 
@@ -171,9 +172,20 @@ def run_step3(
     or ``"classical"`` (linear scan over ``X``, ``|X|`` evaluations) — the
     latter is the ablation baseline quantifying exactly where the quantum
     speedup enters.
+
+    ``rng_contract`` picks the RNG consumption contract of the batched
+    searches (see :mod:`repro.quantum.batched`): ``"v2"`` (the default)
+    advances all lanes of a class off one batch generator seeded from the
+    per-lane seed column; ``"v1"`` consumes per-lane streams byte-identical
+    to the sequential :mod:`repro.core._reference` driver.  The driver
+    generator's own stream (schedule and seed-column draws) is identical
+    under both contracts, so the class schedules — and with them the round
+    charges — do not depend on the contract.
     """
     if search_mode not in ("quantum", "classical"):
         raise ValueError(f"unknown search_mode {search_mode!r}")
+    if rng_contract not in ("v1", "v2"):
+        raise ValueError(f"unknown rng_contract {rng_contract!r}")
     generator = ensure_rng(rng)
     report = Step3Report()
     arrays = _SearchArrays.build(network, node_pairs)
@@ -195,6 +207,7 @@ def run_step3(
                 generator,
                 search_mode,
                 amplification,
+                rng_contract,
             )
     return report
 
@@ -268,6 +281,7 @@ def _run_class(
     generator,
     search_mode: str,
     amplification: float,
+    rng_contract: str = "v2",
 ) -> None:
     n = partitions.num_vertices
     beta = constants.eval_beta(n, alpha)
@@ -343,16 +357,22 @@ def _run_class(
 
     # One batched run for the whole class: every search node is a lane of
     # the same lockstep schedule.  Lane seeds are one batched draw — the
-    # exact values sequential per-label spawn_rng calls would have produced,
-    # so measurements are identical — and the padded witness-table stacks
-    # are built in cache-sized chunks and registered through add_lanes.
+    # exact values sequential per-label spawn_rng calls would have produced
+    # — so the driver stream is contract-independent.  Under v1 each lane
+    # consumes its seed's private stream (measurements byte-identical to the
+    # reference); under v2 the seed column seeds the class's one batch
+    # generator.  The padded witness-table stacks are built in cache-sized
+    # chunks and registered through add_lanes either way.
     batched = BatchedMultiSearch(
-        beta=beta, eval_rounds=eval_r, amplification=amplification
+        beta=beta, eval_rounds=eval_r, amplification=amplification,
+        rng_contract=rng_contract,
     )
     lane_indices = np.nonzero(in_domain & (arrays.num_pairs > 0))[0]
     lane_pairs: list[np.ndarray] = []
     if lane_indices.size:
         seeds = generator.integers(0, 2**63 - 1, size=lane_indices.size)
+        if rng_contract == "v2":
+            batched.batch_rng = seeds
         lane_pairs = register_class_lanes(
             batched, arrays, node_pairs, (counts, offsets, flat_blocks),
             lane_indices, seeds,

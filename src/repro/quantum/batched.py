@@ -33,11 +33,31 @@ directly on the :class:`_Lane` — effective CSR columns, typicality report,
 and a lazily materialized generator — and both registration paths produce
 bit-identical runs.
 
-What remains in the lockstep loop is the irreducible randomness: one
-corruption draw, one batch of measurement draws over the lane's pending
-searches, and the occasional measurement-slot draw.  Lanes drop out of the
-active set as they finish (every search found, or the repetition budget
-exhausted), mirroring the per-node early stop.
+What remains in the lockstep loop is the irreducible randomness, and *how*
+it is consumed is governed by a versioned **RNG consumption contract**:
+
+``rng_contract="v1"`` (the byte-identity contract, default here)
+    Each lane consumes its private generator in the same order and with the
+    same call shapes as the sequential :meth:`MultiSearch.run`, so every
+    measurement, corruption flag, and early stop lands identically — the
+    strongest possible equivalence, at the cost of a per-lane Python loop
+    inside every repetition.
+
+``rng_contract="v2"`` (the batched contract)
+    One *batch generator* — seeded from the same per-lane seed column v1
+    would have handed out — serves the whole class: per repetition it draws
+    the corruption flags for all active lanes in one call, the measurement
+    variates for every pending search of every non-corrupted lane in one
+    flat call, and the measurement slots for all hits in one call.  Stream
+    identity with v1 is deliberately broken; what is preserved (and
+    property-tested in ``tests/test_rng_contract_v2.py``) is the
+    distributional contract of Lemma 5 — per-search marginals, found-pair
+    validity, corruption-rate bounds — plus the exact round/oracle charge
+    identities, which depend only on the shared schedule.
+
+Lanes drop out of the active set as they finish (every search found, or the
+repetition budget exhausted) under both contracts, mirroring the per-node
+early stop.
 """
 
 from __future__ import annotations
@@ -59,6 +79,9 @@ from repro.quantum.multisearch import (
 )
 from repro import telemetry
 from repro.util.rng import RngLike, materialize_rng
+
+#: The versioned RNG consumption contracts (see the module docstring).
+RNG_CONTRACTS = ("v1", "v2")
 
 
 class _Lane:
@@ -179,6 +202,14 @@ class BatchedMultiSearch:
     :meth:`add` (one label at a time) or :meth:`add_lanes` (a padded stack)
     in the same order the sequential implementation would have constructed
     them, each with its own generator (or seed).
+
+    ``rng_contract`` selects the consumption contract (module docstring):
+    ``"v1"`` runs each lane on its private generator, byte-identical to the
+    sequential reference; ``"v2"`` runs all lanes off one batch generator,
+    cross-lane vectorized.  Under v2 the per-lane generators are never
+    touched; the batch generator materializes from ``batch_rng`` (a
+    generator, an integer seed, or — the canonical Step-3 use — the whole
+    per-lane seed column) at run time.
     """
 
     def __init__(
@@ -187,10 +218,18 @@ class BatchedMultiSearch:
         beta: Optional[float] = None,
         eval_rounds: float = 1.0,
         amplification: float = 12.0,
+        rng_contract: str = "v1",
+        batch_rng=None,
     ) -> None:
+        if rng_contract not in RNG_CONTRACTS:
+            raise QuantumSimulationError(
+                f"unknown rng_contract {rng_contract!r}; expected one of {RNG_CONTRACTS}"
+            )
         self.beta = beta
         self.eval_rounds = float(eval_rounds)
         self.amplification = float(amplification)
+        self.rng_contract = rng_contract
+        self.batch_rng = batch_rng
         self._lanes: list[_Lane] = []
         self._keys: set[Hashable] = set()
 
@@ -353,15 +392,20 @@ class BatchedMultiSearch:
     ) -> dict[Hashable, MultiSearchReport]:
         """Advance every lane through the shared iteration schedule.
 
-        Returns ``{key: report}`` with per-lane reports identical to
-        ``MultiSearch.run(schedule=schedule)`` on the same inputs and
-        generators.
+        Under ``rng_contract="v1"`` the returned ``{key: report}`` mapping
+        is identical to ``MultiSearch.run(schedule=schedule)`` per lane on
+        the same inputs and generators; under ``"v2"`` it is identically
+        distributed, with the same round/oracle charges for the same
+        schedule.
         """
         with telemetry.span(
             "quantum.batched_run",
             lanes=len(self._lanes),
             repetitions=len(schedule),
+            rng_contract=self.rng_contract,
         ):
+            if self.rng_contract == "v2":
+                return self._run_v2(schedule, early_stop=early_stop)
             return self._run(schedule, early_stop=early_stop)
 
     def _run(
@@ -432,4 +476,155 @@ class BatchedMultiSearch:
                     continue
                 still.append(lane)
             active = still
+        return {lane.key: lane.report() for lane in self._lanes}
+
+    def _run_v2(
+        self,
+        schedule: Sequence[int],
+        *,
+        early_stop: bool,
+    ) -> dict[Hashable, MultiSearchReport]:
+        """The batched contract: all lanes advance off one generator.
+
+        Per repetition exactly three generator calls happen, regardless of
+        lane count: corruption flags for the active lanes (lane order),
+        measurement variates for every pending search of every
+        non-corrupted lane (flat ``(lane, search)`` order), and measurement
+        slots for the hits.  The control flow per lane — charge, corrupted
+        skip, empty-pending drop-out, early stop, deterministic
+        fast-forward — is the same as :meth:`_run`, expressed over flat
+        cross-lane arrays instead of a per-lane inner loop.
+        """
+        repetitions = len(schedule)
+        schedule_column = np.asarray(schedule, dtype=np.int64)
+        active_lanes: list[_Lane] = []
+        for lane in self._lanes:
+            lane.prepare(schedule_column)
+            if repetitions and lane.can_freeze and lane.live == 0:
+                # Deterministic lane (nothing findable, nothing corruptible):
+                # charges the full schedule without consuming randomness.
+                lane.last_rep = repetitions - 1
+            else:
+                active_lanes.append(lane)
+        if not repetitions or not active_lanes:
+            return {lane.key: lane.report() for lane in self._lanes}
+
+        brng = materialize_rng(self.batch_rng)
+        num_lanes = len(active_lanes)
+        sizes = np.array(
+            [lane.num_searches for lane in active_lanes], dtype=np.int64
+        )
+        lane_off = np.zeros(num_lanes + 1, dtype=np.int64)
+        np.cumsum(sizes, out=lane_off[1:])
+        search_lane = np.repeat(np.arange(num_lanes, dtype=np.int64), sizes)
+        theta = np.concatenate([lane.theta for lane in active_lanes])
+        counts = np.concatenate([lane.counts for lane in active_lanes])
+        padded = counts + 1
+        iters_mat = np.stack([lane.iters for lane in active_lanes])
+        typical = self.beta is not None
+        if typical:
+            delta_mat = np.stack([lane.delta for lane in active_lanes])
+
+        pending = np.ones(lane_off[-1], dtype=bool)
+        # Measurement slots of found searches; the solution *values* resolve
+        # per lane after the loop — concatenating every lane's effective CSR
+        # (``eff_flat``) up front would copy the whole class's solution
+        # lists, which dwarfs the loop itself on large classes.
+        found_slot = np.full(lane_off[-1], -1, dtype=np.int64)
+        pend_count = sizes.copy()
+        live = np.array([lane.live for lane in active_lanes], dtype=np.int64)
+        can_freeze = np.array(
+            [lane.can_freeze for lane in active_lanes], dtype=bool
+        )
+        lane_active = np.ones(num_lanes, dtype=bool)
+        last_rep = np.full(num_lanes, -1, dtype=np.int64)
+        corrupted = np.zeros(num_lanes, dtype=np.int64)
+        fidelity_max = np.zeros(num_lanes, dtype=np.float64)
+        measuring = np.zeros(num_lanes, dtype=bool)
+        # Working set: indices of pending searches in still-active lanes,
+        # always ascending — so the measurement batch below keeps the
+        # contract's flat (lane, search) draw order while per-repetition
+        # work shrinks with completions exactly like the sequential form's.
+        work = np.arange(lane_off[-1], dtype=np.int64)
+        work_lane = search_lane
+
+        for rep in range(repetitions):
+            idx = np.flatnonzero(lane_active)
+            if not idx.size:
+                break
+            last_rep[idx] = rep  # this repetition's charge is incurred
+            if typical:
+                delta_col = delta_mat[idx, rep]
+                fidelity_max[idx] = np.maximum(fidelity_max[idx], delta_col)
+                corr = brng.random(idx.size) < delta_col
+                if corr.any():
+                    # Corrupted repetitions: verification discards them;
+                    # the lanes stay active.
+                    corrupted[idx[corr]] += 1
+                    meas_idx = idx[~corr]
+                else:
+                    meas_idx = idx
+            else:
+                meas_idx = idx
+            # All found before a corrupted tail repetition: charge this
+            # repetition, then stop (same as the sequential drop-out).
+            exhausted = pend_count[meas_idx] == 0
+            if exhausted.any():
+                lane_active[meas_idx[exhausted]] = False
+                meas_idx = meas_idx[~exhausted]
+            if not meas_idx.size:
+                continue
+            measuring[:] = False
+            measuring[meas_idx] = True
+            picked = measuring[work_lane]
+            flat = work[picked]
+            draws = brng.random(flat.size)
+            probs = (
+                np.sin((2 * iters_mat[work_lane[picked], rep] + 1) * theta[flat])
+                ** 2
+            )
+            hits = flat[draws < probs]
+            if hits.size:
+                slots = brng.integers(0, padded[hits])
+                real = slots < counts[hits]
+                real_hits = hits[real]
+                if real_hits.size:
+                    found_slot[real_hits] = slots[real]
+                    pending[real_hits] = False
+                    per_lane = np.bincount(
+                        search_lane[real_hits], minlength=num_lanes
+                    )
+                    pend_count -= per_lane
+                    live -= per_lane
+            if early_stop:
+                done = meas_idx[pend_count[meas_idx] == 0]
+                if done.size:
+                    lane_active[done] = False  # finished this repetition
+            frozen = meas_idx[
+                can_freeze[meas_idx]
+                & (live[meas_idx] == 0)
+                & (pend_count[meas_idx] > 0)
+            ]
+            if frozen.size:
+                # Only zero-solution searches remain and corruption is
+                # impossible: fast-forward to the end of the schedule.
+                last_rep[frozen] = repetitions - 1
+                lane_active[frozen] = False
+            keep = pending[work] & lane_active[work_lane]
+            work = work[keep]
+            work_lane = work_lane[keep]
+
+        for index, lane in enumerate(active_lanes):
+            slots = found_slot[lane_off[index]:lane_off[index + 1]]
+            lane.found = np.full(slots.size, -1, dtype=np.int64)
+            local = np.flatnonzero(slots >= 0)
+            if local.size:
+                lane.found[local] = lane.eff_flat[
+                    lane.eff_offsets[local] + slots[local]
+                ]
+            lane.pending = np.flatnonzero(lane.found < 0)
+            lane.live = int(live[index])
+            lane.last_rep = int(last_rep[index])
+            lane.corrupted = int(corrupted[index])
+            lane.fidelity_max = float(fidelity_max[index])
         return {lane.key: lane.report() for lane in self._lanes}

@@ -18,7 +18,7 @@ double-count draws of already-counting parents).
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -26,8 +26,13 @@ from repro import telemetry as _telemetry
 
 RngLike = Union[None, int, np.random.Generator]
 
+#: Entropy accepted by :func:`_new_generator`: anything
+#: ``np.random.default_rng`` takes as a ``SeedSequence`` seed — ``None``,
+#: one integer, or a whole integer column (the batched-contract case).
+SeedLike = Union[None, int, Sequence[int], np.ndarray]
 
-def _new_generator(seed: Optional[int]) -> np.random.Generator:
+
+def _new_generator(seed: SeedLike) -> np.random.Generator:
     """A fresh generator for ``seed`` — counting iff telemetry is active."""
     collector = _telemetry.active()
     if collector is None:
@@ -68,7 +73,17 @@ def materialize_rng(value) -> np.random.Generator:
     randomness) store the raw ``None | int | Generator`` value and call this
     at first use, so the decision to count draws is made when the stream is
     actually materialized — under whatever collector is installed *then*.
+
+    Besides scalars, ``value`` may be a whole integer seed column (any
+    sequence or array): the RNG-contract-v2 batch generator is seeded from
+    the per-lane seed column so the batched stream is a deterministic
+    function of exactly the entropy the sequential v1 lanes would have
+    received.
     """
     if isinstance(value, np.random.Generator):
         return value
-    return _new_generator(None if value is None else int(value))
+    if value is None:
+        return _new_generator(None)
+    if isinstance(value, (int, np.integer)):
+        return _new_generator(int(value))
+    return _new_generator(np.asarray(value))

@@ -14,6 +14,14 @@ import pytest
 import repro
 from repro.core.constants import PaperConstants
 
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "rng_contract: RNG consumption-contract equivalence and statistical"
+        " suites (tests/test_rng_contract_v2.py)",
+    )
+
 #: Constants used by most protocol tests: large enough scale that Λx covers
 #: every pair w.h.p. at n=16..36, small enough that classes beyond T0 occur.
 TEST_CONSTANTS = PaperConstants(scale=0.5)
