@@ -46,6 +46,7 @@ from repro.service import (
     QueryEngine,
     QueryRequest,
     ResultStore,
+    RetryPolicy,
     SolveOptions,
     available_solvers,
 )
@@ -232,6 +233,17 @@ def _make_store(args: argparse.Namespace) -> ResultStore:
     return ResultStore(cache_dir=cache_dir) if cache_dir else ResultStore()
 
 
+def _retry_policy(args: argparse.Namespace):
+    """A :class:`RetryPolicy` honoring ``--retries`` (None = engine default)."""
+    retries = getattr(args, "retries", None)
+    if retries is None:
+        return None
+    try:
+        return RetryPolicy(max_attempts=retries, seed=args.seed)
+    except ValueError as error:
+        raise SystemExit(f"bad --retries: {error}")
+
+
 def _json_default(value):
     """JSON fallback for numpy scalars landing in span attributes."""
     if hasattr(value, "item"):
@@ -289,6 +301,22 @@ def _verbose_summary(collector) -> None:
     run_text = _quantile_text(collector, "jobs.run_seconds")
     if run_text:
         parts.append(f"job run {run_text}")
+    recovery = [
+        (label, counters.get(name, 0))
+        for label, name in (
+            ("retries", "jobs.retries"),
+            ("timeouts", "jobs.timeouts"),
+            ("worker crashes", "jobs.worker_crashes"),
+            ("quarantined", "store.quarantined"),
+            ("degraded", "queries.degraded"),
+        )
+        if counters.get(name, 0)
+    ]
+    if recovery:
+        parts.append(
+            "recovery "
+            + " ".join(f"{label}={count:.0f}" for label, count in recovery)
+        )
     parts.append(f"rng draws={collector.rng_draws}")
     print(f"telemetry: {'; '.join(parts)}")
 
@@ -311,9 +339,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 rng_contract=args.rng_contract,
             ),
             store=_make_store(args),
+            fallback=args.fallback or (),
+            retry_policy=_retry_policy(args),
+            timeout_s=args.timeout,
         )
         try:
-            results = engine.query_batch(graph, requests)
+            results = engine.query_batch(graph, requests, timeout_s=args.timeout)
         except (repro.GraphError, repro.ServiceError) as error:
             raise SystemExit(f"query failed: {error}")
         # A batch answered on a negative-cycle graph carries None for every
@@ -337,6 +368,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 print(f"path {req.u} -> {req.v}: {rendered}")
             else:
                 print(f"{req.kind}: {result.value}")
+        degraded = {r.fallback_solver for r in results if r.degraded}
+        if degraded:
+            print(
+                f"degraded: {args.solver!r} failed, answers served by "
+                f"fallback solver(s) {', '.join(sorted(map(repr, degraded)))}"
+            )
         stats = engine.store.stats
         print(
             f"served {len(results)} queries with {engine.solver_invocations} solve(s) "
@@ -375,18 +412,44 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
                 scale=args.scale, seed=args.seed,
                 rng_contract=args.rng_contract,
             ),
+            retry_policy=_retry_policy(args),
+            timeout_s=args.timeout,
         )
         jobs = [engine.submit(graph) for graph in graphs]
         if args.workers > 1:
             engine.run_pending_parallel(max_workers=args.workers)
         else:
             engine.run_pending()
+        degraded_from: dict[str, str] = {}
+        if args.fallback:
+            # Ordered degradation: re-dispatch non-semantic failures
+            # through the fallback chain, serving the first solver that
+            # completes (NegativeCycleError is an answer, not a failure).
+            for index, job in enumerate(jobs):
+                if job.state is not JobState.FAILED:
+                    continue
+                if job.error_type == "NegativeCycleError":
+                    continue
+                for name in args.fallback:
+                    retry = engine.submit(
+                        graphs[index], solver=name, timeout_s=args.timeout
+                    )
+                    if retry.state is JobState.PENDING:
+                        engine.run(retry.job_id)
+                    if retry.state is JobState.DONE:
+                        degraded_from[retry.job_id] = job.solver
+                        jobs[index] = retry
+                        break
         failed = 0
         for label, job in zip(labels, jobs):
             line = (
                 f"{job.job_id} {job.digest[:12]} {job.state.value:>7}"
                 f" solver={job.solver}"
             )
+            if job.job_id in degraded_from:
+                line += f" degraded(from={degraded_from[job.job_id]})"
+            if job.attempts > 1:
+                line += f" attempts={job.attempts} retry_wait={job.retry_wait_s:.3f}s"
             if job.state is JobState.DONE:
                 line += (
                     f" rounds={job.artifact.rounds:,.0f}"
@@ -400,6 +463,10 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
             if not job.cache_hit:
                 line += f" wait={job.queue_wait_s:.3f}s run={job.duration_s:.3f}s"
             print(f"{line}  ({label})")
+            if job.state is JobState.FAILED and args.verbose and job.traceback:
+                print("  worker traceback (truncated):")
+                for traceback_line in job.traceback.rstrip().splitlines():
+                    print(f"    {traceback_line}")
         stats = engine.store.stats
         print(
             f"{len(jobs)} job(s), {failed} failed, {engine.solver_invocations} solve(s) "
@@ -489,6 +556,21 @@ def build_parser() -> argparse.ArgumentParser:
             help="RNG consumption contract for contract-aware solvers",
         )
         p.add_argument("--cache-dir", help="persist closures as .npz under this dir")
+        p.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="per-job wall-clock budget across all retry attempts",
+        )
+        p.add_argument(
+            "--retries", type=int, default=None, metavar="ATTEMPTS",
+            help="max solve attempts per job for transient failures "
+            "(1 disables retries; default: engine policy)",
+        )
+        p.add_argument(
+            "--fallback", action="append", choices=available_solvers(),
+            metavar="SOLVER",
+            help="fallback solver tried when the primary fails "
+            "(repeatable; ordered)",
+        )
         p.add_argument(
             "--trace",
             help="write the telemetry snapshot (spans, metrics, RNG, congest) "

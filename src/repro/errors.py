@@ -73,8 +73,40 @@ class TelemetryError(ReproError):
     bad histogram bounds, metric-kind collisions, malformed snapshots."""
 
 
+class TransientError:
+    """Mixin marking a failure as *transient* — safe to retry.
+
+    The job engine's :class:`~repro.service.jobs.RetryPolicy` re-dispatches
+    a failed solve only when the worker classified its exception as
+    transient: an instance of this mixin or of :class:`OSError` (I/O
+    hiccups, injected faults, worker-side timeouts).  Semantic failures —
+    :class:`NegativeCycleError` above all — are never transient: retrying a
+    deterministic solve over the same input cannot change the answer.
+    """
+
+
 class ServiceError(ReproError):
     """Raised on misuse of the serving layer (:mod:`repro.service`)."""
+
+
+class FaultInjectionError(ServiceError):
+    """Raised on misuse of the fault-injection plane
+    (:mod:`repro.service.faults`): rates outside ``[0, 1]``, unknown
+    corruption modes, double installation."""
+
+
+class WorkerCrashError(ServiceError, TransientError):
+    """Raised (as a job failure classification) when a worker process died
+    mid-solve — a ``BrokenProcessPool`` detected by the job engine, which
+    rebuilds the pool and re-dispatches the in-flight jobs.  Transient by
+    definition: the crash says nothing about the input."""
+
+
+class JobTimeoutError(ServiceError):
+    """Raised (as a job failure classification) when a job exhausted its
+    wall-clock budget (``timeout_s``) across all attempts.  *Not*
+    transient — the deadline is already spent, so there is no budget left
+    to retry into."""
 
 
 class JobFailedError(ServiceError):

@@ -15,7 +15,11 @@ package amortizes those expensive solves across unbounded query traffic:
   ``PENDING → RUNNING → DONE/FAILED`` state machine, synchronously or
   across a process pool;
 * :mod:`~repro.service.queries` — batched ``dist``/``path``/``diameter``/
-  ``negative-cycle`` queries served from cached closures.
+  ``negative-cycle`` queries served from cached closures, with an ordered
+  solver fallback chain for graceful degradation;
+* :mod:`~repro.service.faults` — a deterministic, seeded fault-injection
+  plane (worker crashes, latency, transient ``OSError``, artifact
+  corruption) for exercising the engine's retry/timeout/quarantine paths.
 
 Quickstart::
 
@@ -29,8 +33,9 @@ Quickstart::
     assert engine.solver_invocations == 1
 """
 
+from repro.service.faults import FaultConfig, FaultPlane, FlakyFindEdges
 from repro.service.hashing import DIGEST_SCHEME, graph_digest
-from repro.service.jobs import Job, JobEngine, JobState
+from repro.service.jobs import Job, JobEngine, JobState, RetryPolicy
 from repro.service.queries import QUERY_KINDS, QueryEngine, QueryRequest, QueryResult
 from repro.service.solvers import (
     SolveOptions,
@@ -43,10 +48,20 @@ from repro.service.solvers import (
     register_solver,
     solver_capabilities,
 )
-from repro.service.store import ClosureArtifact, ResultStore, StoreStats, artifact_key
+from repro.service.store import (
+    ClosureArtifact,
+    ResultStore,
+    StoreStats,
+    artifact_checksum,
+    artifact_key,
+)
 
 __all__ = [
     "DIGEST_SCHEME",
+    "FaultConfig",
+    "FaultPlane",
+    "FlakyFindEdges",
+    "RetryPolicy",
     "graph_digest",
     "Job",
     "JobEngine",
@@ -67,5 +82,6 @@ __all__ = [
     "ClosureArtifact",
     "ResultStore",
     "StoreStats",
+    "artifact_checksum",
     "artifact_key",
 ]

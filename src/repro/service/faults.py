@@ -1,0 +1,329 @@
+"""Deterministic fault injection: make the service layer's recovery testable.
+
+The fault plane is installed like the telemetry collector — one
+process-wide slot, :func:`install` / :func:`uninstall` / :func:`active` /
+the :func:`inject` context manager — and costs exactly one attribute check
+per site when absent, so production paths carry no fault logic.  When a
+:class:`FaultPlane` is installed, instrumented sites consult it:
+
+* ``worker.solve`` (:mod:`repro.service.jobs`) — worker crashes
+  (``os._exit`` inside pool workers, a transient :class:`OSError` for
+  in-process solves so injection can never kill the engine's own process),
+  injected latency, and transient ``OSError`` raises;
+* ``store.persist`` (:mod:`repro.service.store`) — artifact corruption:
+  the persisted ``.npz`` bytes are bit-flipped or truncated on disk, which
+  the store's checksum verification must catch and quarantine.
+
+Every decision is **deterministic**: a draw at ``(kind, site, token)`` is a
+pure function of the plane's seed, so a failing recovery scenario replays
+exactly, retries see fresh draws (the attempt number is part of the
+token), and cross-process injection (the engine ships its picklable
+:class:`FaultConfig` to pool workers) agrees with what the engine would
+have drawn.  Decisions with no explicit token consume a per-site counter,
+so e.g. re-persisting an artifact after a corrupted write gets a fresh
+draw instead of being corrupted forever.
+
+The module also hosts :class:`FlakyFindEdges` — the corrupt-answer
+wrapper backend that ``tests/test_failure_injection.py`` introduced to
+prove corrupt APSP outputs *detectable* — so benchmarks and examples can
+reuse it; this plane is the complementary half that makes failures
+*survivable*.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+from repro import telemetry
+from repro.core.problems import FindEdgesInstance, FindEdgesSolution
+from repro.errors import FaultInjectionError
+from repro.util.rng import ensure_rng
+
+#: The failure modes the plane can inject.
+FAULT_KINDS = ("crash", "latency", "oserror", "corrupt")
+
+#: Supported artifact-corruption modes.
+CORRUPT_MODES = ("bitflip", "truncate")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-site injection rates and the seed every decision derives from.
+
+    Picklable by construction: the job engine ships this config into pool
+    workers so worker-side draws are the same pure function of the seed as
+    engine-side ones.  ``engine_pid`` records the installing process;
+    ``crash`` draws only ``os._exit`` when they fire in a *different*
+    process (a pool worker) and degrade to a transient :class:`OSError`
+    in-process, so injection cannot take down the engine itself.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency_s: float = 0.02
+    oserror_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    corrupt_mode: str = "bitflip"
+    engine_pid: int = field(default_factory=os.getpid)
+
+    def __post_init__(self) -> None:
+        for name in ("crash_rate", "latency_rate", "oserror_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise FaultInjectionError(f"{name} must be in [0, 1], got {rate}")
+        if self.latency_s < 0:
+            raise FaultInjectionError(f"latency_s must be >= 0, got {self.latency_s}")
+        if self.corrupt_mode not in CORRUPT_MODES:
+            raise FaultInjectionError(
+                f"unknown corrupt_mode {self.corrupt_mode!r}; "
+                f"supported: {', '.join(CORRUPT_MODES)}"
+            )
+
+    @property
+    def any_rate(self) -> bool:
+        """Whether any injection can ever fire."""
+        return any(
+            getattr(self, name) > 0.0
+            for name in ("crash_rate", "latency_rate", "oserror_rate", "corrupt_rate")
+        )
+
+
+def decide(seed: int, kind: str, site: str, token: str, rate: float) -> bool:
+    """The pure decision function: does fault ``kind`` fire at ``site`` for
+    ``token`` under ``seed``?
+
+    Exposed so tests and benchmarks can *search* seeds for a wanted
+    scenario (e.g. "crashes on attempt 1, survives attempt 2") instead of
+    hoping a magic constant keeps producing it.
+    """
+    if rate <= 0.0:
+        return False
+    if rate >= 1.0:
+        return True
+    key = zlib.crc32(f"{kind}:{site}:{token}".encode())
+    return float(np.random.default_rng([seed, key]).random()) < rate
+
+
+class FaultPlane:
+    """Seeded fault decisions plus injection counters.
+
+    One plane lives in the process slot (engine side); pool workers build
+    short-lived planes from the shipped :class:`FaultConfig` and return
+    their counters in the worker payload, which the engine merges back via
+    :meth:`merge_counts` — so ``injected`` totals survive even though the
+    worker process state does not (a crashed worker, by design, reports
+    nothing).
+    """
+
+    def __init__(
+        self,
+        config: Optional[FaultConfig] = None,
+        *,
+        mirror_telemetry: bool = True,
+    ) -> None:
+        self.config = config if config is not None else FaultConfig()
+        self.injected: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        # Worker-local planes leave telemetry to the engine-side merge so
+        # in-process execution does not double-count each injection.
+        self.mirror_telemetry = mirror_telemetry
+        self._auto_tokens: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # -- decisions -----------------------------------------------------------
+
+    def _token(self, site: str, token: Optional[str]) -> str:
+        """An explicit token, or the next value of the site's counter."""
+        if token is not None:
+            return token
+        with self._lock:
+            count = self._auto_tokens.get(site, 0)
+            self._auto_tokens[site] = count + 1
+        return f"auto:{count}"
+
+    def _fire(self, kind: str, site: str, token: Optional[str], rate: float) -> bool:
+        if not decide(self.config.seed, kind, site, self._token(site, token), rate):
+            return False
+        with self._lock:
+            self.injected[kind] += 1
+        if self.mirror_telemetry:
+            collector = telemetry.active()
+            if collector is not None:
+                collector.metrics.inc(f"faults.injected.{kind}")
+        return True
+
+    # -- injection sites -----------------------------------------------------
+
+    def maybe_crash(self, site: str, token: Optional[str] = None) -> None:
+        """Kill the current worker process (``os._exit``), or — when running
+        inside the engine's own process — raise a transient ``OSError``
+        standing in for the crash."""
+        if not self._fire("crash", site, token, self.config.crash_rate):
+            return
+        if os.getpid() != self.config.engine_pid:
+            os._exit(13)
+        raise OSError(f"injected worker crash at {site} (in-process stand-in)")
+
+    def maybe_delay(self, site: str, token: Optional[str] = None) -> float:
+        """Sleep ``latency_s`` (an injected slow solve); returns the delay."""
+        if not self._fire("latency", site, token, self.config.latency_rate):
+            return 0.0
+        time.sleep(self.config.latency_s)
+        return self.config.latency_s
+
+    def maybe_oserror(self, site: str, token: Optional[str] = None) -> None:
+        """Raise a transient ``OSError`` (I/O hiccup, connection reset...)."""
+        if self._fire("oserror", site, token, self.config.oserror_rate):
+            raise OSError(f"injected transient OSError at {site}")
+
+    def corrupt_bytes(self, data: bytes, token: str) -> bytes:
+        """Return a corrupted copy of ``data`` (deterministic in ``token``).
+
+        ``bitflip`` flips one bit of one byte; ``truncate`` drops the tail.
+        Empty input is returned unchanged (nothing to corrupt).
+        """
+        if not data:
+            return data
+        key = zlib.crc32(f"corrupt-bytes:{token}".encode())
+        rng = np.random.default_rng([self.config.seed, key])
+        if self.config.corrupt_mode == "truncate":
+            # Keep at least one byte, drop at least one.
+            keep = int(rng.integers(1, len(data))) if len(data) > 1 else 0
+            return data[:keep]
+        position = int(rng.integers(0, len(data)))
+        bit = int(rng.integers(0, 8))
+        corrupted = bytearray(data)
+        corrupted[position] ^= 1 << bit
+        return bytes(corrupted)
+
+    def maybe_corrupt_file(self, path: Union[str, Path],
+                           token: Optional[str] = None) -> bool:
+        """Corrupt the file at ``path`` in place; True when it fired."""
+        token = self._token("store.persist", token)
+        if not self._fire("corrupt", "store.persist", token,
+                          self.config.corrupt_rate):
+            return False
+        path = Path(path)
+        path.write_bytes(self.corrupt_bytes(path.read_bytes(), token))
+        return True
+
+    # -- accounting ----------------------------------------------------------
+
+    def merge_counts(self, counts: dict) -> None:
+        """Fold a worker payload's injection counters into this plane's."""
+        collector = telemetry.active()
+        with self._lock:
+            for kind, amount in counts.items():
+                if kind in self.injected and amount:
+                    self.injected[kind] += int(amount)
+        if collector is not None:
+            for kind, amount in counts.items():
+                if kind in self.injected and amount:
+                    collector.metrics.inc(f"faults.injected.{kind}", int(amount))
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of the injection counters."""
+        with self._lock:
+            return dict(self.injected)
+
+
+class _Slot:
+    """The process-wide fault-plane slot (mirrors the telemetry runtime)."""
+
+    __slots__ = ("plane", "lock")
+
+    def __init__(self) -> None:
+        self.plane: Optional[FaultPlane] = None
+        self.lock = threading.Lock()
+
+
+_SLOT = _Slot()
+
+
+def install(config: Union[None, FaultConfig, FaultPlane] = None) -> FaultPlane:
+    """Install a fault plane (built from ``config`` if needed) and return it.
+
+    Installing over an existing plane is an error — two overlapping fault
+    scenarios would make neither reproducible.
+    """
+    with _SLOT.lock:
+        if _SLOT.plane is not None:
+            raise FaultInjectionError("a fault plane is already installed")
+        plane = config if isinstance(config, FaultPlane) else FaultPlane(config)
+        _SLOT.plane = plane
+        return plane
+
+
+def uninstall() -> Optional[FaultPlane]:
+    """Remove and return the installed plane (``None`` if absent)."""
+    with _SLOT.lock:
+        plane = _SLOT.plane
+        _SLOT.plane = None
+        return plane
+
+
+def active() -> Optional[FaultPlane]:
+    """The installed plane, or ``None`` — the one-attribute-check gate."""
+    return _SLOT.plane
+
+
+@contextmanager
+def inject(
+    config: Union[None, FaultConfig, FaultPlane] = None
+) -> Iterator[FaultPlane]:
+    """Install a fault plane for the duration of the ``with`` block."""
+    plane = install(config)
+    try:
+        yield plane
+    finally:
+        with _SLOT.lock:
+            if _SLOT.plane is plane:
+                _SLOT.plane = None
+
+
+class FlakyFindEdges:
+    """Wraps a FindEdges backend; each reported pair set is perturbed with
+    probability ``flip_probability`` (one random pair added or removed).
+
+    Promoted from ``tests/test_failure_injection.py`` so benchmarks and
+    examples share one corrupt-solver model: the failure-injection tests
+    prove the validation layer *detects* the corruption this wrapper
+    produces, and the recovery machinery in this package is what lets the
+    service layer *survive* it.
+    """
+
+    def __init__(self, inner, flip_probability: float, rng=None) -> None:
+        self.inner = inner
+        self.flip_probability = flip_probability
+        self.rng = ensure_rng(rng)
+        self.flips = 0
+
+    def find_edges(self, instance: FindEdgesInstance) -> FindEdgesSolution:
+        solution = self.inner.find_edges(instance)
+        if self.rng.random() >= self.flip_probability:
+            return solution
+        scope = sorted(instance.effective_scope())
+        if not scope:
+            return solution
+        self.flips += 1
+        victim = scope[int(self.rng.integers(0, len(scope)))]
+        pairs = set(solution.pairs)
+        if victim in pairs:
+            pairs.discard(victim)
+        else:
+            pairs.add(victim)
+        return FindEdgesSolution(
+            pairs=pairs,
+            rounds=solution.rounds,
+            ledger=solution.ledger,
+            aborts=solution.aborts,
+        )

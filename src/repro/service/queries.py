@@ -12,6 +12,16 @@ Batch requests are plain :class:`QueryRequest` records so they can be
 read from files, built by the CLI, or constructed programmatically; batched
 ``dist`` lookups are answered with one vectorized gather
 (:func:`repro.matrix.apsp.batch_distance_lookup`).
+
+Graceful degradation: the engine accepts an ordered ``fallback`` chain of
+solver names (e.g. ``("classical", "floyd-warshall")``) consulted only
+after the primary solver's retries are exhausted.  Results served from a
+fallback carry ``degraded=True`` / ``fallback_solver`` so callers can see
+the answer is authoritative (distances are solver-independent) but its
+round accounting belongs to a different solver.  ``NegativeCycleError``
+bypasses the chain — it is an answer about the input, and every solver
+would agree.  ``query_batch`` additionally takes a ``timeout_s`` budget
+that is propagated as a deadline across every solve the batch triggers.
 """
 
 from __future__ import annotations
@@ -27,8 +37,8 @@ from repro.errors import JobFailedError, ServiceError
 from repro.graphs.digraph import WeightedDigraph
 from repro.matrix.apsp import batch_distance_lookup
 from repro.matrix.witness import reconstruct_path
-from repro.service.jobs import JobEngine
-from repro.service.solvers import SolveOptions
+from repro.service.jobs import JobEngine, RetryPolicy
+from repro.service.solvers import SolveOptions, available_solvers
 from repro.service.store import ClosureArtifact, ResultStore
 
 #: Request kinds understood by :meth:`QueryEngine.query_batch`.
@@ -64,10 +74,18 @@ class QueryRequest:
 
 @dataclass
 class QueryResult:
-    """The answer to one :class:`QueryRequest`."""
+    """The answer to one :class:`QueryRequest`.
+
+    ``degraded`` is set when the answer was served by a fallback solver
+    (named in ``fallback_solver``) after the primary solver's retries were
+    exhausted — the distances are still exact, but round accounting is the
+    fallback's.
+    """
 
     request: QueryRequest
     value: QueryValue
+    degraded: bool = False
+    fallback_solver: Optional[str] = None
 
 
 class QueryEngine:
@@ -80,6 +98,11 @@ class QueryEngine:
     store:
         Shared :class:`ResultStore`; pass one with a ``cache_dir`` for
         cross-process persistence.
+    fallback:
+        Ordered solver names tried — in order, each with the full retry
+        budget — when the primary solver fails for a non-semantic reason.
+    retry_policy / timeout_s:
+        Passed through to the underlying :class:`JobEngine`.
     """
 
     def __init__(
@@ -88,8 +111,26 @@ class QueryEngine:
         solver: str = "reference",
         options: Optional[SolveOptions] = None,
         store: Optional[ResultStore] = None,
+        fallback: Optional[Sequence[str]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        timeout_s: Optional[float] = None,
     ) -> None:
-        self.engine = JobEngine(store=store, solver=solver, options=options)
+        self.engine = JobEngine(
+            store=store,
+            solver=solver,
+            options=options,
+            retry_policy=retry_policy,
+            timeout_s=timeout_s,
+        )
+        self.fallback: tuple[str, ...] = tuple(fallback) if fallback else ()
+        known = set(available_solvers())
+        for name in self.fallback:
+            if name not in known:
+                raise ServiceError(
+                    f"unknown fallback solver {name!r}; "
+                    f"available: {', '.join(sorted(known))}"
+                )
+        self.degraded_solves = 0
 
     @property
     def store(self) -> ResultStore:
@@ -104,13 +145,50 @@ class QueryEngine:
 
     def ensure_solved(self, graph: WeightedDigraph) -> ClosureArtifact:
         """The graph's closure artifact, solving at most once per content."""
+        return self._resolve(graph)[0]
+
+    def _resolve(
+        self, graph: WeightedDigraph, timeout_s: Optional[float] = None
+    ) -> tuple[ClosureArtifact, Optional[str]]:
+        """Resolve a closure through the primary solver, then the fallback
+        chain; returns ``(artifact, fallback solver used or None)``.
+
+        ``NegativeCycleError`` propagates immediately — it is an answer
+        about the *input*, identical under every solver, so degrading
+        cannot change it.  Other failures walk the chain; when it is
+        exhausted the last failure is re-raised.
+        """
         with telemetry.span("queries.ensure_solved") as span:
-            job = self.engine.submit(graph)
-            if job.artifact is not None:  # cache hit: complete, not in the ledger
-                span.set("cache_hit", job.cache_hit)
-                return job.artifact
-            span.set("cache_hit", False)
-            return self.engine.result(job.job_id)
+            last: Optional[JobFailedError] = None
+            for fallback_name in (None, *self.fallback):
+                try:
+                    artifact = self._solve_once(graph, fallback_name, timeout_s)
+                except JobFailedError as error:
+                    if error.error_type == "NegativeCycleError":
+                        raise
+                    last = error
+                    continue
+                if fallback_name is not None:
+                    self.degraded_solves += 1
+                    span.set("degraded", True)
+                    span.set("fallback_solver", fallback_name)
+                    collector = telemetry.active()
+                    if collector is not None:
+                        collector.metrics.inc("queries.degraded")
+                return artifact, fallback_name
+            assert last is not None
+            raise last
+
+    def _solve_once(
+        self,
+        graph: WeightedDigraph,
+        solver: Optional[str],
+        timeout_s: Optional[float],
+    ) -> ClosureArtifact:
+        job = self.engine.submit(graph, solver=solver, timeout_s=timeout_s)
+        if job.artifact is not None:  # cache hit: complete, not in the ledger
+            return job.artifact
+        return self.engine.result(job.job_id)
 
     # -- point queries -------------------------------------------------------
 
@@ -139,7 +217,9 @@ class QueryEngine:
         _observe_query("diameter", started)
         return float(artifact.distances.max())
 
-    def has_negative_cycle(self, graph: WeightedDigraph) -> bool:
+    def has_negative_cycle(
+        self, graph: WeightedDigraph, *, timeout_s: Optional[float] = None
+    ) -> bool:
         """Whether the graph contains a negative cycle.
 
         A graph with a negative cycle has no distance closure, so nothing
@@ -147,7 +227,7 @@ class QueryEngine:
         ``NegativeCycleError`` failure.
         """
         try:
-            self.ensure_solved(graph)
+            self._resolve(graph, timeout_s)
         except JobFailedError as error:
             if error.error_type == "NegativeCycleError":
                 return True
@@ -157,18 +237,25 @@ class QueryEngine:
     # -- batched queries -----------------------------------------------------
 
     def query_batch(
-        self, graph: WeightedDigraph, requests: Sequence[QueryRequest]
+        self,
+        graph: WeightedDigraph,
+        requests: Sequence[QueryRequest],
+        *,
+        timeout_s: Optional[float] = None,
     ) -> list[QueryResult]:
         """Answer a batch of requests against one resolved closure.
 
         ``dist`` requests are gathered with a single vectorized lookup;
-        every request is answered in input order.
+        every request is answered in input order.  ``timeout_s`` is a
+        wall-clock budget for the whole batch, propagated as a deadline to
+        every solve the batch triggers (including fallback attempts).
         """
         if not requests:
             return []
         started = time.perf_counter()
+        deadline = None if timeout_s is None else started + timeout_s
         with telemetry.span("queries.batch", requests=len(requests)):
-            results = self._query_batch(graph, requests)
+            results = self._query_batch(graph, requests, deadline)
         collector = telemetry.active()
         if collector is not None:
             elapsed = time.perf_counter() - started
@@ -180,16 +267,28 @@ class QueryEngine:
                 metrics.observe("queries.latency_seconds", elapsed / len(requests))
         return results
 
+    @staticmethod
+    def _remaining(deadline: Optional[float]) -> Optional[float]:
+        """Seconds left in the batch budget (floored at 0 so an exhausted
+        deadline surfaces as an immediate job timeout, not a crash)."""
+        if deadline is None:
+            return None
+        return max(0.0, deadline - time.perf_counter())
+
     def _query_batch(
-        self, graph: WeightedDigraph, requests: Sequence[QueryRequest]
+        self,
+        graph: WeightedDigraph,
+        requests: Sequence[QueryRequest],
+        deadline: Optional[float] = None,
     ) -> list[QueryResult]:
         if any(req.kind == "negative-cycle" for req in requests):
-            if self.has_negative_cycle(graph):
+            if self.has_negative_cycle(graph, timeout_s=self._remaining(deadline)):
                 return [
                     QueryResult(req, True if req.kind == "negative-cycle" else None)
                     for req in requests
                 ]
-        artifact = self.ensure_solved(graph)
+        artifact, fallback_solver = self._resolve(graph, self._remaining(deadline))
+        degraded = fallback_solver is not None
         dist_indices = [i for i, req in enumerate(requests) if req.kind == "dist"]
         dist_values: np.ndarray = np.empty(0)
         if dist_indices:
@@ -199,16 +298,19 @@ class QueryEngine:
         results: list[QueryResult] = []
         for req in requests:
             if req.kind == "dist":
-                results.append(QueryResult(req, float(dist_values[dist_cursor])))
+                value: QueryValue = float(dist_values[dist_cursor])
                 dist_cursor += 1
             elif req.kind == "path":
-                results.append(
-                    QueryResult(req, reconstruct_path(artifact.successors, req.u, req.v))
-                )
+                value = reconstruct_path(artifact.successors, req.u, req.v)
             elif req.kind == "diameter":
-                results.append(QueryResult(req, float(artifact.distances.max())))
-            else:  # negative-cycle, and ensure_solved succeeded
-                results.append(QueryResult(req, False))
+                value = float(artifact.distances.max())
+            else:  # negative-cycle, and the solve succeeded
+                value = False
+            results.append(
+                QueryResult(
+                    req, value, degraded=degraded, fallback_solver=fallback_solver
+                )
+            )
         return results
 
     @staticmethod

@@ -11,10 +11,20 @@ Persisted artifacts carry ``repro.__version__``; an archive written by a
 different library version is treated as stale and ignored on load (counted
 in :attr:`StoreStats.stale_discards`), so a cache directory can never serve
 closures computed by incompatible code.
+
+Integrity: every persisted archive embeds a content checksum
+(:func:`artifact_checksum` — SHA-256 over the provenance fields and the
+raw array bytes).  ``_load_from_disk`` recomputes and compares; an archive
+that fails to parse, fails the checksum, or is missing fields is
+**quarantined** — renamed to ``<name>.quarantined`` beside the original,
+counted in :attr:`StoreStats.quarantined` (and the ``store.quarantined``
+telemetry counter) — and reported as a miss, so the engine transparently
+re-solves instead of serving corrupt distances.
 """
 
 from __future__ import annotations
 
+import hashlib
 import pathlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -26,6 +36,7 @@ from repro import telemetry
 from repro._version import __version__
 from repro.graphs.digraph import WeightedDigraph
 from repro.matrix.witness import successor_matrix
+from repro.service import faults
 from repro.service.hashing import graph_digest
 from repro.service.solvers import SolveOutcome
 
@@ -48,6 +59,26 @@ def artifact_key(digest: str, solver: str) -> str:
     ``quantum`` request would report ``rounds=0`` for the quantum solver).
     """
     return f"{digest}:{solver}"
+
+
+def artifact_checksum(artifact: "ClosureArtifact") -> str:
+    """SHA-256 content checksum of an artifact.
+
+    Covers provenance (digest, solver, version, rounds) and the dtype,
+    shape, and raw bytes of both matrices, so any bit that matters to a
+    served answer is under the hash.  Arrays are made contiguous before
+    hashing — the checksum is a function of content, not memory layout.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(
+        f"{artifact.digest}|{artifact.solver}|{artifact.version}"
+        f"|{artifact.rounds!r}".encode()
+    )
+    for array in (artifact.distances, artifact.successors):
+        array = np.ascontiguousarray(array)
+        hasher.update(f"|{array.dtype.str}|{array.shape}|".encode())
+        hasher.update(array.tobytes())
+    return hasher.hexdigest()
 
 
 @dataclass
@@ -94,6 +125,7 @@ class StoreStats:
     evictions: int = 0
     disk_loads: int = 0
     stale_discards: int = 0
+    quarantined: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -102,6 +134,7 @@ class StoreStats:
             "evictions": self.evictions,
             "disk_loads": self.disk_loads,
             "stale_discards": self.stale_discards,
+            "quarantined": self.quarantined,
         }
 
 
@@ -187,15 +220,33 @@ class ResultStore:
         return self.cache_dir / f"{key.replace(':', '.')}.npz"
 
     def _persist(self, artifact: ClosureArtifact) -> None:
+        path = self._artifact_path(artifact.key)
         np.savez_compressed(
-            self._artifact_path(artifact.key),
+            path,
             distances=artifact.distances,
             successors=artifact.successors,
             rounds=np.float64(artifact.rounds),
             solver=np.str_(artifact.solver),
             version=np.str_(artifact.version),
             digest=np.str_(artifact.digest),
+            checksum=np.str_(artifact_checksum(artifact)),
         )
+        plane = faults.active()
+        if plane is not None:
+            plane.maybe_corrupt_file(path)
+
+    def _quarantine(self, path: pathlib.Path) -> None:
+        """Move a bad archive aside (never served, never re-read) and count
+        it; the caller reports a miss so the engine re-solves."""
+        target = path.with_suffix(path.suffix + ".quarantined")
+        try:
+            path.replace(target)
+        except OSError:
+            # Even unlink-resistant corruption must not take the store
+            # down; the miss path already triggers a re-solve.
+            pass
+        self.stats.quarantined += 1
+        _count("store.quarantined")
 
     def _load_from_disk(self, key: str) -> Optional[ClosureArtifact]:
         if self.cache_dir is None:
@@ -203,16 +254,25 @@ class ResultStore:
         path = self._artifact_path(key)
         if not path.exists():
             return None
-        with np.load(path) as data:
-            version = str(data["version"])
-            if version != __version__:
-                self.stats.stale_discards += 1
-                return None
-            return ClosureArtifact(
-                digest=str(data["digest"]),
-                distances=data["distances"],
-                successors=data["successors"],
-                rounds=float(data["rounds"]),
-                solver=str(data["solver"]),
-                version=version,
-            )
+        try:
+            with np.load(path) as data:
+                version = str(data["version"])
+                if version != __version__:
+                    self.stats.stale_discards += 1
+                    return None
+                artifact = ClosureArtifact(
+                    digest=str(data["digest"]),
+                    distances=data["distances"],
+                    successors=data["successors"],
+                    rounds=float(data["rounds"]),
+                    solver=str(data["solver"]),
+                    version=version,
+                )
+                stored = str(data["checksum"])
+        except Exception:  # noqa: BLE001 — any parse failure means corruption
+            self._quarantine(path)  # unreadable archive
+            return None
+        if stored != artifact_checksum(artifact):
+            self._quarantine(path)  # checksum mismatch
+            return None
+        return artifact

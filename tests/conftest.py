@@ -21,6 +21,11 @@ def pytest_configure(config):
         "rng_contract: RNG consumption-contract equivalence and statistical"
         " suites (tests/test_rng_contract_v2.py)",
     )
+    config.addinivalue_line(
+        "markers",
+        "faults: fault-injection and recovery suites (tests/test_service_faults.py,"
+        " tests/test_service_recovery.py)",
+    )
 
 #: Constants used by most protocol tests: large enough scale that Λx covers
 #: every pair w.h.p. at n=16..36, small enough that classes beyond T0 occur.

@@ -12,41 +12,11 @@ import numpy as np
 import pytest
 
 import repro
-from repro.core.problems import FindEdgesInstance, FindEdgesSolution
 from repro.core.reductions import distance_product_via_find_edges
-from repro.util.rng import ensure_rng
 
-
-class FlakyFindEdges:
-    """Wraps a backend; each reported pair set is perturbed with
-    probability ``flip_probability`` (one random pair added or removed)."""
-
-    def __init__(self, inner, flip_probability: float, rng=None) -> None:
-        self.inner = inner
-        self.flip_probability = flip_probability
-        self.rng = ensure_rng(rng)
-        self.flips = 0
-
-    def find_edges(self, instance: FindEdgesInstance) -> FindEdgesSolution:
-        solution = self.inner.find_edges(instance)
-        if self.rng.random() >= self.flip_probability:
-            return solution
-        scope = sorted(instance.effective_scope())
-        if not scope:
-            return solution
-        self.flips += 1
-        victim = scope[int(self.rng.integers(0, len(scope)))]
-        pairs = set(solution.pairs)
-        if victim in pairs:
-            pairs.discard(victim)
-        else:
-            pairs.add(victim)
-        return FindEdgesSolution(
-            pairs=pairs,
-            rounds=solution.rounds,
-            ledger=solution.ledger,
-            aborts=solution.aborts,
-        )
+# The corrupt-solver model lives with the fault-injection plane so
+# benchmarks and examples share it; these tests exercise the shared copy.
+from repro.service.faults import FlakyFindEdges
 
 
 def random_operands(seed, n=5, max_abs=5):

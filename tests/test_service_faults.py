@@ -1,0 +1,227 @@
+"""The fault-injection plane itself: deterministic decisions, the
+process-wide slot, corruption primitives, and injection accounting.
+
+Recovery behavior (what the *engine* does when these faults fire) lives in
+tests/test_service_recovery.py; this file proves the plane is a sound
+instrument — decisions replay exactly, counters add up, and the slot is
+zero-cost when empty.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.errors import FaultInjectionError
+from repro.service import faults
+from repro.service.faults import CORRUPT_MODES, FaultConfig, FaultPlane, decide
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture(autouse=True)
+def clean_slot():
+    """Every test starts and ends with an empty fault slot."""
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+class TestConfigValidation:
+    def test_defaults_inject_nothing(self):
+        config = FaultConfig()
+        assert not config.any_rate
+        assert config.engine_pid == os.getpid()
+
+    @pytest.mark.parametrize(
+        "field", ["crash_rate", "latency_rate", "oserror_rate", "corrupt_rate"]
+    )
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
+    def test_rates_bounded(self, field, value):
+        with pytest.raises(FaultInjectionError, match="must be in"):
+            FaultConfig(**{field: value})
+
+    def test_corrupt_mode_checked(self):
+        with pytest.raises(FaultInjectionError, match="corrupt_mode"):
+            FaultConfig(corrupt_mode="scramble")
+        for mode in CORRUPT_MODES:
+            assert FaultConfig(corrupt_mode=mode).corrupt_mode == mode
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(FaultInjectionError, match="latency_s"):
+            FaultConfig(latency_s=-1.0)
+
+    def test_config_is_picklable(self):
+        import pickle
+
+        config = FaultConfig(seed=7, crash_rate=0.2)
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+
+
+class TestDecide:
+    def test_deterministic_in_all_arguments(self):
+        draws = [
+            decide(3, "oserror", "worker.solve", f"tok{i}", 0.5) for i in range(64)
+        ]
+        again = [
+            decide(3, "oserror", "worker.solve", f"tok{i}", 0.5) for i in range(64)
+        ]
+        assert draws == again
+        assert any(draws) and not all(draws)  # a fair-ish 0.5 sample
+
+    def test_rate_extremes_never_draw(self):
+        assert not decide(0, "crash", "s", "t", 0.0)
+        assert decide(0, "crash", "s", "t", 1.0)
+
+    def test_distinct_tokens_decouple(self):
+        fired = {
+            token: decide(11, "corrupt", "store.persist", token, 0.5)
+            for token in (f"k{i}" for i in range(32))
+        }
+        assert len(set(fired.values())) == 2  # both outcomes occur
+
+    def test_seed_changes_decisions(self):
+        tokens = [f"t{i}" for i in range(64)]
+        a = [decide(0, "latency", "s", t, 0.5) for t in tokens]
+        b = [decide(1, "latency", "s", t, 0.5) for t in tokens]
+        assert a != b
+
+
+class TestSlot:
+    def test_absent_by_default(self):
+        assert faults.active() is None
+
+    def test_install_uninstall_roundtrip(self):
+        plane = faults.install(FaultConfig(seed=5))
+        assert faults.active() is plane
+        assert faults.uninstall() is plane
+        assert faults.active() is None
+
+    def test_double_install_rejected(self):
+        faults.install()
+        with pytest.raises(FaultInjectionError, match="already installed"):
+            faults.install()
+
+    def test_inject_context_manager_cleans_up(self):
+        with faults.inject(FaultConfig(oserror_rate=1.0)) as plane:
+            assert faults.active() is plane
+        assert faults.active() is None
+
+    def test_inject_cleans_up_on_error(self):
+        with pytest.raises(RuntimeError):
+            with faults.inject():
+                raise RuntimeError("boom")
+        assert faults.active() is None
+
+
+class TestInjectionSites:
+    def test_oserror_fires_and_counts(self):
+        plane = FaultPlane(FaultConfig(oserror_rate=1.0))
+        with pytest.raises(OSError, match="injected transient OSError"):
+            plane.maybe_oserror("worker.solve", "t")
+        assert plane.injected["oserror"] == 1
+
+    def test_zero_rate_is_silent(self):
+        plane = FaultPlane(FaultConfig())
+        plane.maybe_oserror("worker.solve", "t")
+        plane.maybe_crash("worker.solve", "t")
+        assert plane.maybe_delay("worker.solve", "t") == 0.0
+        assert plane.injected == {kind: 0 for kind in faults.FAULT_KINDS}
+
+    def test_in_process_crash_degrades_to_oserror(self):
+        # os._exit from the engine's own process would kill the test run;
+        # the plane must substitute a transient error instead.
+        plane = FaultPlane(FaultConfig(crash_rate=1.0))
+        with pytest.raises(OSError, match="in-process stand-in"):
+            plane.maybe_crash("worker.solve", "t")
+        assert plane.injected["crash"] == 1
+
+    def test_delay_sleeps_and_reports(self):
+        plane = FaultPlane(FaultConfig(latency_rate=1.0, latency_s=0.01))
+        assert plane.maybe_delay("worker.solve", "t") == 0.01
+        assert plane.injected["latency"] == 1
+
+    def test_telemetry_counter_mirrors_injections(self):
+        with telemetry.collect() as collector:
+            plane = FaultPlane(FaultConfig(oserror_rate=1.0))
+            with pytest.raises(OSError):
+                plane.maybe_oserror("worker.solve", "t")
+        counters = collector.metrics.snapshot()["counters"]
+        assert counters["faults.injected.oserror"] == 1
+
+
+class TestCorruption:
+    def test_bitflip_changes_exactly_one_bit(self):
+        plane = FaultPlane(FaultConfig(seed=2, corrupt_mode="bitflip"))
+        data = bytes(range(256))
+        corrupted = plane.corrupt_bytes(data, "tok")
+        assert corrupted != data
+        assert len(corrupted) == len(data)
+        diff = [
+            (a ^ b) for a, b in zip(data, corrupted) if a != b
+        ]
+        assert len(diff) == 1 and bin(diff[0]).count("1") == 1
+
+    def test_truncate_drops_a_tail(self):
+        plane = FaultPlane(FaultConfig(seed=2, corrupt_mode="truncate"))
+        data = bytes(range(256))
+        corrupted = plane.corrupt_bytes(data, "tok")
+        assert 1 <= len(corrupted) < len(data)
+        assert data.startswith(corrupted)
+
+    def test_corruption_deterministic_per_token(self):
+        plane = FaultPlane(FaultConfig(seed=9))
+        data = os.urandom(128)
+        assert plane.corrupt_bytes(data, "a") == plane.corrupt_bytes(data, "a")
+        assert plane.corrupt_bytes(data, "a") != plane.corrupt_bytes(data, "b")
+
+    def test_maybe_corrupt_file_in_place(self, tmp_path):
+        path = tmp_path / "artifact.npz"
+        original = os.urandom(64)
+        path.write_bytes(original)
+        plane = FaultPlane(FaultConfig(corrupt_rate=1.0))
+        assert plane.maybe_corrupt_file(path)
+        assert path.read_bytes() != original
+        assert plane.injected["corrupt"] == 1
+
+    def test_auto_tokens_give_fresh_draws(self):
+        # Same site, no explicit token: consecutive calls must consume the
+        # per-site counter, not replay one decision forever.
+        plane = FaultPlane(FaultConfig(seed=1, corrupt_rate=0.5))
+        fired = [
+            plane.maybe_corrupt_file(self._touch(tmp), None)
+            for tmp in self._files(plane)
+        ]
+        assert any(fired) and not all(fired)
+
+    @staticmethod
+    def _touch(path):
+        return path
+
+    @staticmethod
+    def _files(plane, count=32):
+        import tempfile
+        from pathlib import Path
+
+        directory = Path(tempfile.mkdtemp())
+        for index in range(count):
+            path = directory / f"f{index}"
+            path.write_bytes(b"x" * 32)
+            yield path
+
+
+class TestCountMerging:
+    def test_merge_counts_accumulates(self):
+        plane = FaultPlane(FaultConfig())
+        plane.merge_counts({"crash": 2, "latency": 1})
+        plane.merge_counts({"crash": 1, "unknown": 5})
+        assert plane.injected["crash"] == 3
+        assert plane.injected["latency"] == 1
+
+    def test_snapshot_is_a_copy(self):
+        plane = FaultPlane(FaultConfig())
+        snap = plane.snapshot()
+        snap["crash"] = 99
+        assert plane.injected["crash"] == 0

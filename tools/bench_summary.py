@@ -95,6 +95,23 @@ def breakdown_problems(where: str, breakdown) -> list[str]:
     return problems
 
 
+#: Row schema of the e19 fault-recovery experiment: the recovery contract
+#: columns trajectory diffs depend on (``recovered_identical`` is the
+#: byte-identity assertion's verdict, so it must be a real boolean).
+_E19_NUMERIC_KEYS = ("fault_rate", "goodput_jobs_per_s", "retries")
+
+
+def e19_problems(where: str, record: dict) -> list[str]:
+    """Schema violations of one e19 fault-recovery record."""
+    problems = []
+    for key in _E19_NUMERIC_KEYS:
+        if not _is_number(record.get(key)):
+            problems.append(f"{where}: missing numeric {key!r}")
+    if not isinstance(record.get("recovered_identical"), bool):
+        problems.append(f"{where}: missing boolean 'recovered_identical'")
+    return problems
+
+
 def phase_rollup(experiments: dict[str, list]) -> dict:
     """Per-experiment telemetry phases: ``{experiment: {phase: wall_seconds}}``.
 
@@ -261,6 +278,8 @@ def check(summary: dict, committed: dict | None = None) -> list[str]:
                 problems.extend(
                     breakdown_problems(where, record["phase_breakdown"])
                 )
+            if experiment.startswith("e19"):
+                problems.extend(e19_problems(where, record))
     for index, row in enumerate(summary.get("trajectory", [])):
         where = f"trajectory row {index}"
         if not isinstance(row, dict):
