@@ -35,6 +35,14 @@ def _bench_telemetry():
     byte-identical (e17 asserts the overhead contract).  The collector is
     what lets :func:`write_metrics` attach the ``phase_breakdown`` column
     to every result row.
+
+    Multi-process benchmarks report their workers' phases too: worker
+    summaries shipped back by the :mod:`repro.parallel` dispatcher and the
+    job engine land in this collector via
+    :meth:`~repro.telemetry.collector.TelemetryCollector.merge_worker`,
+    and :func:`~repro.telemetry.report.phase_breakdown` folds them into the
+    per-phase totals — so a dispatched run's breakdown shows the search
+    work itself, not just the parent's dispatch overhead.
     """
     with telemetry.collect() as collector:
         yield collector

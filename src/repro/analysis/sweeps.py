@@ -120,7 +120,7 @@ def sweep_apsp_engine(
     seeds: Sequence[int] = (0,),
     solver: str = "reference",
     options: Optional[SolveOptions] = None,
-    workers: int = 1,
+    workers: Optional[int] = 1,
     store: Optional[ResultStore] = None,
     density: float = 0.4,
     max_weight: int = 8,
@@ -130,10 +130,11 @@ def sweep_apsp_engine(
     Unlike :func:`sweep_compute_pairs`, which measures one protocol call at
     a time in-process, this driver submits every ``(size, seed)`` instance
     as a job and drains them through :class:`~repro.service.jobs.JobEngine`
-    — synchronously for ``workers=1``, across a process pool otherwise —
-    so a sweep's points run in parallel and repeated sweeps over the same
-    ``store`` are answered from cache.  Each point is verified against
-    Floyd–Warshall (``exact``).
+    — synchronously for ``workers=1``, across a process pool otherwise
+    (``None`` derives the count from ``os.cpu_count()``, see
+    :func:`repro.parallel.default_workers`) — so a sweep's points run in
+    parallel and repeated sweeps over the same ``store`` are answered from
+    cache.  Each point is verified against Floyd–Warshall (``exact``).
     """
     engine = JobEngine(
         store=store if store is not None else ResultStore(),
@@ -147,7 +148,7 @@ def sweep_apsp_engine(
                 size, density=density, max_weight=max_weight, rng=seed
             )
             submissions.append((size, seed, graph, engine.submit(graph)))
-    if workers > 1:
+    if workers is None or workers > 1:
         engine.run_pending_parallel(max_workers=workers)
     else:
         engine.run_pending()
@@ -168,6 +169,47 @@ def sweep_apsp_engine(
             )
         )
     return points
+
+
+def sweep_apsp_batch(
+    num_graphs: int,
+    size: int,
+    *,
+    solver: str = "floyd-warshall",
+    options: Optional[SolveOptions] = None,
+    workers: Optional[int] = None,
+    density: float = 0.4,
+    max_weight: int = 8,
+    base_seed: int = 0,
+):
+    """Columnar batch sweep: many graphs of one size through the scale-out
+    plane.
+
+    Where :func:`sweep_apsp_engine` pays per-job submission, hashing, and
+    result pickling, this driver stacks every instance's weight matrix into
+    one shared-memory arena column and has the
+    :mod:`repro.parallel` workers solve contiguous graph chunks, writing
+    distances and round charges into output columns in place — the
+    per-graph cost is just the solve.  Graph ``i`` is generated with seed
+    ``base_seed + i`` and solved with a solver seeded the same way, so the
+    result is independent of chunking and worker count.  Returns a
+    :class:`repro.parallel.BatchSolveResult`.
+    """
+    from repro.parallel import solve_weights_batch
+
+    weights = np.stack(
+        [
+            random_digraph_no_negative_cycle(
+                size, density=density, max_weight=max_weight, rng=base_seed + i
+            ).weights
+            for i in range(num_graphs)
+        ]
+    )
+    if options is None:
+        options = SolveOptions(seed=base_seed)
+    return solve_weights_batch(
+        weights, solver=solver, options=options, workers=workers
+    )
 
 
 def sweep_phase_rounds(

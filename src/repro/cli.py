@@ -230,7 +230,10 @@ def _cmd_model(args: argparse.Namespace) -> int:
 
 def _make_store(args: argparse.Namespace) -> ResultStore:
     cache_dir = getattr(args, "cache_dir", None)
-    return ResultStore(cache_dir=cache_dir) if cache_dir else ResultStore()
+    num_shards = getattr(args, "shards", None) or 1
+    if cache_dir:
+        return ResultStore(cache_dir=cache_dir, num_shards=num_shards)
+    return ResultStore(num_shards=num_shards)
 
 
 def _retry_policy(args: argparse.Namespace):
@@ -416,7 +419,9 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
             timeout_s=args.timeout,
         )
         jobs = [engine.submit(graph) for graph in graphs]
-        if args.workers > 1:
+        if args.workers == 0:
+            engine.run_pending_parallel(max_workers=None)  # cpu-derived
+        elif args.workers > 1:
             engine.run_pending_parallel(max_workers=args.workers)
         else:
             engine.run_pending()
@@ -557,6 +562,12 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--cache-dir", help="persist closures as .npz under this dir")
         p.add_argument(
+            "--shards", type=int, default=1, metavar="N",
+            help="split the result store across N digest-prefix shards "
+            "(own lock/LRU budget/quarantine per shard; 1 keeps the flat "
+            "layout)",
+        )
+        p.add_argument(
             "--timeout", type=float, default=None, metavar="SECONDS",
             help="per-job wall-clock budget across all retry attempts",
         )
@@ -611,7 +622,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-weight", type=int, default=8)
     p_serve.add_argument(
         "--workers", type=int, default=1,
-        help="process-pool width; 1 runs jobs synchronously",
+        help="process-pool width; 1 runs jobs synchronously, 0 derives "
+        "the width from the machine's cpu count (capped)",
     )
     p_serve.set_defaults(func=_cmd_serve_batch)
 

@@ -1,0 +1,32 @@
+"""Shared-memory columnar scale-out plane.
+
+The columnar refactors (``MessageBatch``, the domain-CSR query plans, the
+``BatchedMultiSearch`` lane stacks) left every hot data structure as a plain
+contiguous ndarray.  This package exploits that: a :class:`ShmArena` publishes
+those arrays in named ``multiprocessing.shared_memory`` blocks described by a
+picklable manifest, and a :class:`ClassDispatcher` farms independent
+per-class (or per-graph) tasks to a persistent worker pool whose workers
+attach the arena once and read the columns zero-copy.
+
+Determinism contract: all RNG state (schedules, per-lane seed columns) is
+drawn in the parent in exactly the sequential order, so dispatched runs are
+byte-identical to the in-process path regardless of worker count.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.arena import ArenaEntry, ArenaManifest, LocalArena, ShmArena, shm_available
+from repro.parallel.dispatch import ClassDispatcher, default_workers
+from repro.parallel.sweeps import BatchSolveResult, solve_weights_batch
+
+__all__ = [
+    "ArenaEntry",
+    "ArenaManifest",
+    "BatchSolveResult",
+    "ClassDispatcher",
+    "LocalArena",
+    "ShmArena",
+    "default_workers",
+    "shm_available",
+    "solve_weights_batch",
+]

@@ -185,6 +185,7 @@ def _solve_in_worker(
     options: SolveOptions,
     fault_config=None,
     fault_token: str = "",
+    collect_telemetry: bool = False,
 ) -> dict:
     """Solve one instance; always returns a payload, never raises.
 
@@ -194,7 +195,11 @@ def _solve_in_worker(
     :class:`~repro.service.faults.FaultConfig` rides along, a short-lived
     worker-side :class:`~repro.service.faults.FaultPlane` injects at the
     ``worker.solve`` site and its counters return in the payload (a
-    crashed worker, by design, reports nothing).
+    crashed worker, by design, reports nothing).  With
+    ``collect_telemetry`` (set by the parallel path when the parent is
+    tracing) the solve runs under a worker-side collector and a compact
+    span/RNG/congest summary rides back in the payload for
+    :meth:`TelemetryCollector.merge_worker`.
     """
     started = time.perf_counter()
     plane = (
@@ -202,13 +207,22 @@ def _solve_in_worker(
         if fault_config is not None
         else None
     )
+    summary = None
     try:
         if plane is not None:
             plane.maybe_crash("worker.solve", fault_token)
             plane.maybe_delay("worker.solve", fault_token)
             plane.maybe_oserror("worker.solve", fault_token)
         graph = WeightedDigraph(weights)
-        outcome = make_solver(solver_name, options).solve(graph)
+        if collect_telemetry:
+            from repro.parallel.dispatch import worker_summary
+
+            telemetry.uninstall()  # drop a fork-inherited parent collector
+            with telemetry.collect() as collector:
+                outcome = make_solver(solver_name, options).solve(graph)
+            summary = worker_summary(collector)
+        else:
+            outcome = make_solver(solver_name, options).solve(graph)
         successors = successor_matrix(graph.apsp_matrix(), outcome.distances)
         return {
             "ok": True,
@@ -218,6 +232,7 @@ def _solve_in_worker(
             "pid": os.getpid(),
             "duration_s": time.perf_counter() - started,
             **({"faults": plane.snapshot()} if plane is not None else {}),
+            **({"telemetry": summary} if summary is not None else {}),
         }
     except Exception as error:  # noqa: BLE001 — the job ledger is the handler
         transient = isinstance(error, (TransientError, OSError)) and not isinstance(
@@ -232,6 +247,7 @@ def _solve_in_worker(
             "pid": os.getpid(),
             "duration_s": time.perf_counter() - started,
             **({"faults": plane.snapshot()} if plane is not None else {}),
+            **({"telemetry": summary} if summary is not None else {}),
         }
 
 
@@ -420,8 +436,13 @@ class JobEngine:
         ran = [self.run(job.job_id) for job in self.pending()]
         return ran
 
-    def run_pending_parallel(self, max_workers: int = 2) -> list[Job]:
+    def run_pending_parallel(self, max_workers: Optional[int] = None) -> list[Job]:
         """Drain the pending queue across a process pool.
+
+        ``max_workers=None`` (the default) derives the worker count from
+        ``os.cpu_count()``, capped (see
+        :func:`repro.parallel.default_workers`); the count used is recorded
+        in the ``jobs.workers`` telemetry gauge.
 
         Jobs are dispatched in submission order; a failed solve marks its
         job ``FAILED`` and leaves the pool (and the other jobs) intact.
@@ -431,11 +452,18 @@ class JobEngine:
         job is classified as a transient ``WorkerCrashError``, the pool is
         rebuilt, and eligible jobs are re-dispatched.
         """
+        from repro.parallel import default_workers
+
         todo = self.pending()
         if not todo:
             return []
+        if max_workers is None:
+            max_workers = default_workers()
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        collector = telemetry.active()
+        if collector is not None:
+            collector.metrics.set_gauge("jobs.workers", max_workers)
         with telemetry.span(
             "jobs.run_parallel", jobs=len(todo), max_workers=max_workers
         ):
@@ -476,6 +504,7 @@ class JobEngine:
                 _solve_in_worker,
                 self._graphs[job.job_id].weights, job.solver, job.options,
                 fault_config, fault_token,
+                telemetry.active() is not None,
             )
         retry_jobs: list[Job] = []
         rebuild = False
@@ -576,11 +605,15 @@ class JobEngine:
 
     def _merge_worker_faults(self, payload: dict) -> None:
         counts = payload.get("faults")
-        if not counts:
-            return
-        plane = faults.active()
-        if plane is not None:
-            plane.merge_counts(counts)
+        if counts:
+            plane = faults.active()
+            if plane is not None:
+                plane.merge_counts(counts)
+        summary = payload.pop("telemetry", None)
+        if summary is not None:
+            collector = telemetry.active()
+            if collector is not None:
+                collector.merge_worker(summary)
 
     def _finish_done(self, job: Job, payload: dict) -> None:
         job.worker_pid = payload.get("pid")

@@ -44,6 +44,7 @@ class TelemetryCollector:
         self.unattributed_rng_calls = 0
         self.unattributed_rng_draws = 0
         self.congest: dict[str, dict] = {}
+        self.worker_summaries: list[dict] = []
         self._ids = new_id_counter(1)
         self._local = threading.local()
         self._epoch = time.perf_counter()
@@ -136,6 +137,21 @@ class TelemetryCollector:
         if kind == "broadcast":
             metrics.inc("congest.broadcasts")
 
+    # -- worker merge ------------------------------------------------------
+
+    def merge_worker(self, summary: dict) -> None:
+        """Fold one worker-process telemetry summary into this collector.
+
+        Mirrors the PR-9 fault-count merge: workers run under their own
+        collector, ship a compact summary (``pid``, rolled-up ``phases``,
+        ``rng`` totals, ``congest`` ledger) back with their result payload,
+        and the parent appends it here.  Summaries are kept separate from
+        the parent's own spans — :func:`repro.telemetry.report.phase_breakdown`
+        folds them in, while the span/RNG consistency checks keep operating
+        on parent-process data only.
+        """
+        self.worker_summaries.append(dict(summary))
+
     # -- export ------------------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -155,4 +171,5 @@ class TelemetryCollector:
             "congest": {
                 str(phase): dict(entry) for phase, entry in self.congest.items()
             },
+            "workers": [dict(summary) for summary in self.worker_summaries],
         }

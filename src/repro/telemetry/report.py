@@ -69,25 +69,55 @@ def rollup(snapshot: dict) -> dict[str, dict]:
 def phase_breakdown(snapshot: dict) -> dict:
     """The compact per-phase record benchmarks attach to result rows.
 
+    Per-worker summaries merged into the snapshot (the ``workers`` list fed
+    by :meth:`TelemetryCollector.merge_worker`) are folded into the phase,
+    RNG, and congest totals here, so a multi-process run reports the work
+    its workers did instead of only the parent's dispatch overhead.
+
     Shape (validated by ``tools/bench_summary.py --check``)::
 
         {"schema": "repro.telemetry/v1",
          "phases": {name: {count, wall_seconds, self_seconds,
                            rng_calls, rng_draws}},
          "rng": {"calls": ..., "draws": ...},
-         "congest": {phase: {"rounds": ..., "words": ...}}}
+         "congest": {phase: {"rounds": ..., "words": ...}},
+         "workers": <number of merged worker summaries>}
     """
+    phases = rollup(snapshot)
+    rng_calls = snapshot["rng"]["calls"]
+    rng_draws = snapshot["rng"]["draws"]
+    congest: dict[str, dict] = {
+        phase: {"rounds": entry["rounds"], "words": entry["words"]}
+        for phase, entry in snapshot["congest"].items()
+    }
+    workers = snapshot.get("workers", [])
+    for summary in workers:
+        for name, entry in summary.get("phases", {}).items():
+            slot = phases.setdefault(
+                name,
+                {
+                    "count": 0,
+                    "wall_seconds": 0.0,
+                    "self_seconds": 0.0,
+                    "rng_calls": 0,
+                    "rng_draws": 0,
+                },
+            )
+            for key in ("count", "wall_seconds", "self_seconds", "rng_calls", "rng_draws"):
+                slot[key] += entry.get(key, 0)
+        worker_rng = summary.get("rng", {})
+        rng_calls += worker_rng.get("calls", 0)
+        rng_draws += worker_rng.get("draws", 0)
+        for phase, entry in summary.get("congest", {}).items():
+            slot = congest.setdefault(phase, {"rounds": 0.0, "words": 0})
+            slot["rounds"] += entry.get("rounds", 0.0)
+            slot["words"] += entry.get("words", 0)
     return {
         "schema": snapshot["schema"],
-        "phases": rollup(snapshot),
-        "rng": {
-            "calls": snapshot["rng"]["calls"],
-            "draws": snapshot["rng"]["draws"],
-        },
-        "congest": {
-            phase: {"rounds": entry["rounds"], "words": entry["words"]}
-            for phase, entry in snapshot["congest"].items()
-        },
+        "phases": phases,
+        "rng": {"calls": rng_calls, "draws": rng_draws},
+        "congest": congest,
+        "workers": len(workers),
     }
 
 

@@ -26,6 +26,11 @@ def pytest_configure(config):
         "faults: fault-injection and recovery suites (tests/test_service_faults.py,"
         " tests/test_service_recovery.py)",
     )
+    config.addinivalue_line(
+        "markers",
+        "scaleout: multi-process shared-memory equivalence suites"
+        " (tests/test_parallel_scaleout.py)",
+    )
 
 #: Constants used by most protocol tests: large enough scale that Λx covers
 #: every pair w.h.p. at n=16..36, small enough that classes beyond T0 occur.

@@ -1,0 +1,197 @@
+"""Sharded result store: flat-store equivalence, atomic writes, shard paths.
+
+The observational-equivalence property: a store with ``S`` shards behaves
+exactly like ``S`` independent flat stores (each with the per-shard budget)
+fed the key subsequence its prefix routes to it — same hits, misses, and
+evictions per key sequence, byte-identical artifacts, quarantine counted on
+the owning shard.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.service import ClosureArtifact, ResultStore
+from repro.service.store import artifact_checksum
+
+
+def make_artifact(seed: int, n: int = 8) -> ClosureArtifact:
+    graph = repro.random_digraph_no_negative_cycle(n, density=0.5, rng=seed)
+    from repro.service.solvers import make_solver
+
+    outcome = make_solver("floyd-warshall").solve(graph)
+    return ClosureArtifact.from_solve(graph, outcome)
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    """Enough artifacts that every op sequence hits several shards."""
+    return [make_artifact(seed) for seed in range(24)]
+
+
+def run_ops(store: ResultStore, ops) -> list:
+    """Apply a (verb, artifact) sequence; record what each get returned."""
+    outcomes = []
+    for verb, artifact in ops:
+        if verb == "put":
+            store.put(artifact)
+        else:
+            got = store.get(artifact.key)
+            outcomes.append(None if got is None else artifact_checksum(got))
+    return outcomes
+
+
+def op_sequences(artifacts, seed: int, length: int = 120):
+    rng = np.random.default_rng(seed)
+    verbs = rng.choice(["put", "get"], size=length, p=[0.4, 0.6])
+    picks = rng.integers(0, len(artifacts), size=length)
+    return [(verb, artifacts[pick]) for verb, pick in zip(verbs, picks)]
+
+
+class TestShardEquivalence:
+    @pytest.mark.parametrize("num_shards", [2, 4, 7])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sharded_equals_per_shard_flat_stores(
+        self, artifacts, num_shards, seed
+    ):
+        """Sharded store ≡ num_shards independent flat stores, each fed the
+        key subsequence its prefix routes to it."""
+        capacity = 8
+        ops = op_sequences(artifacts, seed)
+        sharded = ResultStore(capacity=capacity, num_shards=num_shards)
+        got_sharded = run_ops(sharded, ops)
+
+        per_shard = -(-capacity // num_shards)
+        flats = [ResultStore(capacity=per_shard) for _ in range(num_shards)]
+
+        def route(artifact):
+            prefix = ResultStore._digest_prefix(artifact.key)
+            return flats[int(prefix, 16) % num_shards]
+
+        got_flat = []
+        for verb, artifact in ops:
+            if verb == "put":
+                route(artifact).put(artifact)
+            else:
+                got = route(artifact).get(artifact.key)
+                got_flat.append(None if got is None else artifact_checksum(got))
+
+        assert got_sharded == got_flat
+        total = ResultStore(capacity=1).stats.__class__()  # fresh StoreStats
+        for flat in flats:
+            total.add(flat.stats)
+        assert sharded.stats.as_dict() == total.as_dict()
+        for shard_dict, flat in zip(sharded.shard_stats(), flats):
+            assert shard_dict == flat.stats.as_dict()
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_unbounded_capacity_matches_flat_store_exactly(
+        self, artifacts, seed
+    ):
+        """When capacity never binds, hits/misses and served bytes are
+        identical to a flat store fed the same full sequence."""
+        ops = op_sequences(artifacts, seed)
+        sharded = ResultStore(capacity=1024, num_shards=4)
+        flat = ResultStore(capacity=1024)
+        assert run_ops(sharded, ops) == run_ops(flat, ops)
+        assert sharded.stats.hits == flat.stats.hits
+        assert sharded.stats.misses == flat.stats.misses
+        assert sharded.stats.evictions == flat.stats.evictions == 0
+
+    def test_routing_is_by_digest_prefix(self, artifacts):
+        store = ResultStore(num_shards=4)
+        for artifact in artifacts:
+            prefix = store._digest_prefix(artifact.key)
+            assert prefix == artifact.digest[:2].lower()
+            shard = store._shard_for(artifact.key)
+            assert shard is store._shards[int(prefix, 16) % 4]
+
+
+class TestShardedPersistence:
+    def test_archives_live_under_shard_directories(self, tmp_path, artifacts):
+        store = ResultStore(cache_dir=tmp_path, num_shards=4)
+        for artifact in artifacts[:6]:
+            store.put(artifact)
+        for artifact in artifacts[:6]:
+            path = tmp_path / "shards" / artifact.digest[:2] / (
+                f"{artifact.key.replace(':', '.')}.npz"
+            )
+            assert path.exists()
+        # Nothing lands in the flat root.
+        assert not list(tmp_path.glob("*.npz"))
+
+    def test_round_trip_through_shard_layout(self, tmp_path, artifacts):
+        ResultStore(cache_dir=tmp_path, num_shards=4).put(artifacts[0])
+        fresh = ResultStore(cache_dir=tmp_path, num_shards=4)
+        loaded = fresh.get(artifacts[0].key)
+        assert loaded is not None
+        assert artifact_checksum(loaded) == artifact_checksum(artifacts[0])
+        assert fresh.stats.disk_loads == 1
+
+    def test_flat_layout_remains_readable(self, tmp_path, artifacts):
+        """A sharded store serves archives persisted by a flat store."""
+        ResultStore(cache_dir=tmp_path).put(artifacts[1])
+        sharded = ResultStore(cache_dir=tmp_path, num_shards=8)
+        loaded = sharded.get(artifacts[1].key)
+        assert loaded is not None
+        assert artifact_checksum(loaded) == artifact_checksum(artifacts[1])
+
+    def test_quarantine_is_per_shard(self, tmp_path, artifacts):
+        store = ResultStore(cache_dir=tmp_path, num_shards=4)
+        victim = artifacts[2]
+        store.put(victim)
+        path = store._artifact_path(victim.key)
+        path.write_bytes(b"torn archive")
+        fresh = ResultStore(cache_dir=tmp_path, num_shards=4)
+        assert fresh.get(victim.key) is None
+        assert fresh.stats.quarantined == 1
+        shard_index = int(fresh._digest_prefix(victim.key), 16) % 4
+        per_shard = fresh.shard_stats()
+        assert per_shard[shard_index]["quarantined"] == 1
+        assert sum(entry["quarantined"] for entry in per_shard) == 1
+        quarantined = path.with_suffix(path.suffix + ".quarantined")
+        assert quarantined.exists()
+        assert quarantined.parent == path.parent  # stays inside the shard
+
+    def test_num_shards_validation(self):
+        with pytest.raises(ValueError):
+            ResultStore(num_shards=0)
+        with pytest.raises(ValueError):
+            ResultStore(num_shards=257)
+
+
+class TestAtomicPersist:
+    def test_no_temp_files_survive_a_put(self, tmp_path, artifacts):
+        store = ResultStore(cache_dir=tmp_path, num_shards=2)
+        for artifact in artifacts[:4]:
+            store.put(artifact)
+        leftovers = [
+            path for path in tmp_path.rglob("*") if ".tmp" in path.name
+        ]
+        assert leftovers == []
+
+    def test_interrupted_write_leaves_prior_archive_intact(
+        self, tmp_path, monkeypatch, artifacts
+    ):
+        """A writer dying mid-write must not tear the existing archive."""
+        store = ResultStore(cache_dir=tmp_path)
+        artifact = artifacts[3]
+        store.put(artifact)
+        good_bytes = store._artifact_path(artifact.key).read_bytes()
+
+        def exploding_savez(handle, **kwargs):
+            handle.write(b"partial garbage")
+            raise OSError("disk vanished mid-write")
+
+        monkeypatch.setattr(np, "savez_compressed", exploding_savez)
+        with pytest.raises(OSError):
+            store.put(artifact)
+        # The final path still holds the previous complete archive and the
+        # torn temp file is gone.
+        assert store._artifact_path(artifact.key).read_bytes() == good_bytes
+        assert not [
+            path for path in tmp_path.rglob("*") if ".tmp" in path.name
+        ]
+        fresh = ResultStore(cache_dir=tmp_path)
+        assert fresh.get(artifact.key) is not None
+        assert fresh.stats.quarantined == 0

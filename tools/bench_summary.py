@@ -112,6 +112,24 @@ def e19_problems(where: str, record: dict) -> list[str]:
     return problems
 
 
+#: Row schema of the e20 scale-out experiment: the scaling columns the
+#: trajectory depends on, plus the byte-identity verdict of the dispatched
+#: run (``identical_to_sequential``) and the host ``cores`` count that
+#: makes speedup rows from small machines interpretable.
+_E20_NUMERIC_KEYS = ("workers", "speedup", "efficiency", "cores")
+
+
+def e20_problems(where: str, record: dict) -> list[str]:
+    """Schema violations of one e20 scale-out record."""
+    problems = []
+    for key in _E20_NUMERIC_KEYS:
+        if not _is_number(record.get(key)):
+            problems.append(f"{where}: missing numeric {key!r}")
+    if not isinstance(record.get("identical_to_sequential"), bool):
+        problems.append(f"{where}: missing boolean 'identical_to_sequential'")
+    return problems
+
+
 def phase_rollup(experiments: dict[str, list]) -> dict:
     """Per-experiment telemetry phases: ``{experiment: {phase: wall_seconds}}``.
 
@@ -280,6 +298,8 @@ def check(summary: dict, committed: dict | None = None) -> list[str]:
                 )
             if experiment.startswith("e19"):
                 problems.extend(e19_problems(where, record))
+            if experiment.startswith("e20"):
+                problems.extend(e20_problems(where, record))
     for index, row in enumerate(summary.get("trajectory", [])):
         where = f"trajectory row {index}"
         if not isinstance(row, dict):
