@@ -19,9 +19,17 @@ The contract asserted here (and in the bench-smoke lane via
 * artifacts quarantined by injected disk corruption are transparently
   re-solved, and the re-solved artifact is byte-identical too.
 
-Fault decisions are pure functions of ``(seed, kind, site, token)``, so
-these runs — including which worker crashes on which attempt — replay
-exactly; the table is deterministic apart from wall-clock columns.
+Fault decisions are pure functions of ``(seed, kind, site, token)``:
+solve-site draws are keyed to ``(solver, digest, attempt)`` and disk
+corruption to the artifact name plus its per-artifact persist ordinal,
+so a seeded scenario hits the same artifacts and attempts regardless of
+how the pool interleaved them — the ``quarantined`` and ``injected``
+columns are stable across re-runs.  The ``retries`` and ``rebuilds``
+columns are **not**: an injected crash breaks the *shared* process pool,
+and every co-scheduled in-flight attempt is collaterally failed and
+re-dispatched, so those counts depend on how many futures dispatch
+timing had in flight at the moment of the crash.  The contract columns
+(``done``, ``identical``) are exact on every run.
 """
 
 from __future__ import annotations

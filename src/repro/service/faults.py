@@ -19,9 +19,13 @@ pure function of the plane's seed, so a failing recovery scenario replays
 exactly, retries see fresh draws (the attempt number is part of the
 token), and cross-process injection (the engine ships its picklable
 :class:`FaultConfig` to pool workers) agrees with what the engine would
-have drawn.  Decisions with no explicit token consume a per-site counter,
-so e.g. re-persisting an artifact after a corrupted write gets a fresh
-draw instead of being corrupted forever.
+have drawn.  Decisions with no explicit token consume a counter keyed to
+the decision's subject (for ``store.persist``, the artifact file name) —
+never the site-global call order, which concurrent workers interleave
+nondeterministically — so e.g. re-persisting an artifact after a
+corrupted write gets a fresh draw instead of being corrupted forever,
+while re-runs of the same seeded scenario corrupt the same artifacts no
+matter how the scheduler ordered the persists.
 
 The module also hosts :class:`FlakyFindEdges` — the corrupt-answer
 wrapper backend that ``tests/test_failure_injection.py`` introduced to
@@ -207,12 +211,22 @@ class FaultPlane:
 
     def maybe_corrupt_file(self, path: Union[str, Path],
                            token: Optional[str] = None) -> bool:
-        """Corrupt the file at ``path`` in place; True when it fired."""
-        token = self._token("store.persist", token)
+        """Corrupt the file at ``path`` in place; True when it fired.
+
+        Without an explicit token the draw is keyed to the artifact's file
+        name plus its per-artifact persist ordinal — not the site-global
+        persist order, which concurrent workers interleave
+        nondeterministically and which would make a seeded scenario
+        corrupt different artifacts on every re-run.  The ordinal still
+        advances on each persist of the same artifact, so a re-persist
+        after a corrupted write gets a fresh draw.
+        """
+        path = Path(path)
+        if token is None:
+            token = f"{path.name}#{self._token(f'store.persist/{path.name}', None)}"
         if not self._fire("corrupt", "store.persist", token,
                           self.config.corrupt_rate):
             return False
-        path = Path(path)
         path.write_bytes(self.corrupt_bytes(path.read_bytes(), token))
         return True
 
